@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper table/figure: it times the generation
+with pytest-benchmark (the simulator itself is the system under test),
+prints the paper-shaped report, writes it under ``results/`` and asserts
+the headline shape so a regression in any layer of the stack fails the
+bench run.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_and_print(name: str, report: str) -> None:
+    """Print a rendered report and persist it under results/."""
+    print(f"\n{'=' * 72}\n{report}\n{'=' * 72}")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(report + "\n")
+
+
+@functools.lru_cache(maxsize=None)
+def model_cache(name: str):
+    """Build each ImageNet-sized model once per benchmark session."""
+    from repro.nn.models import MODEL_BUILDERS
+
+    return MODEL_BUILDERS[name]()

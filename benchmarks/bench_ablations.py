@@ -1,0 +1,51 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Quantifies what each optimization contributes: plane batching, double
+caching, autotuning, channel-major layout, minimal-traffic dataflow and
+operator selection are all exercised through their ablation switches.
+"""
+
+from repro.core import PrecisionPair
+from repro.experiments import figures, run_experiment
+from repro.nn.engine import APNNBackend, InferenceEngine
+
+from _helpers import model_cache, save_and_print
+
+
+def test_ablation_report(benchmark):
+    data = benchmark.pedantic(figures.ablation_design_choices, rounds=3,
+                              iterations=1)
+    save_and_print("ablations", run_experiment("ablations"))
+    full = data["apmm-w1a2 (full design)"]
+    assert data["  - plane batching"] > 1.5 * full
+    assert data["  - double caching"] >= full
+    assert data["  - autotuning (fixed 128x128)"] > full
+    assert (
+        data["apconv-w1a2 naive NCHW (512ch)"]
+        > 1.2 * data["apconv-w1a2 channel-major (512ch)"]
+    )
+
+
+def test_nn_fusion_ablation(benchmark):
+    """Whole-network effect of semantic-aware fusion (section 5.2)."""
+    backend = APNNBackend(PrecisionPair.parse("w1a2"))
+    model = model_cache("AlexNet")
+
+    def run():
+        fused = InferenceEngine(model, backend, fuse=True).estimate(8)
+        unfused = InferenceEngine(model, backend, fuse=False).estimate(8)
+        return fused.total_us, unfused.total_us
+
+    fused_us, unfused_us = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert unfused_us > 1.2 * fused_us
+
+
+def test_dataflow_traffic_ablation(benchmark):
+    """Minimal-traffic dataflow: packed q-bit boundaries vs 32-bit."""
+    backend = APNNBackend(PrecisionPair.parse("w1a2"))
+    engine = InferenceEngine(model_cache("VGG-Variant"), backend)
+    report = benchmark.pedantic(lambda: engine.estimate(8), rounds=1,
+                                iterations=1)
+    assert report.dataflow is not None
+    # 2-bit activations: boundary traffic shrinks by ~an order of magnitude
+    assert report.dataflow.traffic_reduction > 8

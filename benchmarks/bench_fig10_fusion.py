@@ -1,0 +1,18 @@
+"""Figure 10: semantic-aware kernel fusion benefit (conv+pool+quantize)."""
+
+from repro.experiments import figures, run_experiment
+
+from _helpers import save_and_print
+
+
+def test_fig10_report(benchmark):
+    rows = benchmark.pedantic(figures.fig10_kernel_fusion, rounds=3,
+                              iterations=1)
+    save_and_print("fig10", run_experiment("fig10"))
+    avg = sum(r["speedup"] for r in rows) / len(rows)
+    # paper: 1.77x average latency reduction from fusion
+    assert 1.4 < avg < 3.5
+    assert all(r["speedup"] > 1.0 for r in rows)
+    # fusion matters more when launches/DRAM round-trips dominate, i.e. at
+    # smaller channel counts
+    assert rows[0]["speedup"] > rows[-1]["speedup"]

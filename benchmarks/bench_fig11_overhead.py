@@ -1,0 +1,18 @@
+"""Figure 11: bit decomposition/combination overhead relative to TC work."""
+
+from repro.experiments import figures, run_experiment
+
+from _helpers import save_and_print
+
+
+def test_fig11_report(benchmark):
+    rows = benchmark.pedantic(figures.fig11_bit_overhead, rounds=3,
+                              iterations=1)
+    save_and_print("fig11", run_experiment("fig11"))
+    # paper: ~1.16% combination and ~2.02% decomposition on average; the
+    # shape we assert is "both phases cost low single-digit percent"
+    for r in rows:
+        assert 0 <= r["combine_overhead_pct"] < 5, r
+        assert 0 <= r["decompose_overhead_pct"] < 8, r
+    avg_dec = sum(r["decompose_overhead_pct"] for r in rows) / len(rows)
+    assert avg_dec < 4

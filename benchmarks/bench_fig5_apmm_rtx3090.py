@@ -1,0 +1,33 @@
+"""Figure 5: APMM speedups over cutlass-int4 / cublas-int8 on RTX 3090."""
+
+import pytest
+
+from repro.experiments import figures, run_experiment
+
+from _helpers import save_and_print
+
+
+def test_fig5_report(benchmark):
+    panel4, panel8 = benchmark.pedantic(
+        figures.fig5_apmm_speedups, rounds=3, iterations=1
+    )
+    save_and_print("fig5", run_experiment("fig5"))
+    # paper: up to 2.35x over int4; up to 3x over int8; APMM beats the
+    # binary library kernel on NN-shaped problems
+    assert 1.8 < panel4.max_speedup("APMM-w1a2") < 3.5
+    assert 2.2 < panel8.max_speedup("APMM-w5a1") < 4.0
+    w1a2 = dict(panel4.series["APMM-w1a2"])
+    int1 = dict(panel4.series["cutlass-gemm-int1"])
+    assert all(w1a2[n] > int1[n] for n in w1a2)
+
+
+def test_fig5_low_bit_variants_cluster_small_sizes(benchmark):
+    panel4, _ = benchmark.pedantic(
+        figures.fig5_apmm_speedups, rounds=1, iterations=1
+    )
+    for idx in (0, 1):  # N = 128, 256
+        vals = [
+            panel4.series[f"APMM-{v}"][idx][1]
+            for v in ("w1a2", "w1a3", "w1a4", "w2a2")
+        ]
+        assert max(vals) - min(vals) < 0.15 * max(vals)

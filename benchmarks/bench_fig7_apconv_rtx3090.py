@@ -1,0 +1,36 @@
+"""Figure 7: APConv speedups over cutlass-conv-int4/int8 on RTX 3090."""
+
+import numpy as np
+
+from repro.core import PrecisionPair
+from repro.experiments import figures, run_experiment
+from repro.kernels import apconv
+
+from _helpers import save_and_print
+
+
+def test_fig7_report(benchmark):
+    panel4, panel8 = benchmark.pedantic(
+        figures.fig7_apconv_speedups, rounds=3, iterations=1
+    )
+    save_and_print("fig7", run_experiment("fig7"))
+    # paper: up to 3.78x over conv-int4, up to 3.08x over conv-int8
+    assert 2.5 < panel4.max_speedup("APConv-w1a2") < 5.0
+    best8 = max(
+        panel8.max_speedup(f"APConv-{v}") for v in ("w1a5", "w1a8", "w2a6", "w2a8")
+    )
+    assert 1.8 < best8 < 5.0
+    assert all(s > 1.0 for _, s in panel4.series["APConv-w1a2"])
+
+
+def test_apconv_kernel_wall_time(benchmark):
+    """Wall-clock of the bit-serial conv on the paper's geometry (128ch)."""
+    pair = PrecisionPair.parse("w1a2")
+    rng = np.random.default_rng(0)
+    w = pair.weight.random_digits(rng, (128, 128, 3, 3))
+    x = pair.activation.random_digits(rng, (1, 128, 16, 16))
+    result = benchmark(
+        lambda: apconv(w, x, pair.weight, pair.activation, stride=1, padding=1,
+                       strategy="bitserial")
+    )
+    assert result.output.shape == (1, 128, 16, 16)

@@ -1,0 +1,15 @@
+"""Figure 8: APConv speedups on A100."""
+
+from repro.experiments import figures, run_experiment
+
+from _helpers import save_and_print
+
+
+def test_fig8_report(benchmark):
+    panel4, panel8 = benchmark.pedantic(
+        figures.fig8_apconv_speedups_a100, rounds=3, iterations=1
+    )
+    save_and_print("fig8", run_experiment("fig8"))
+    assert panel4.device == "A100"
+    assert panel4.max_speedup("APConv-w1a2") > 1.5
+    assert all(s > 0.9 for _, s in panel8.series["APConv-w1a8"])

@@ -1,0 +1,20 @@
+"""Figure 9: per-layer latency breakdown of APNN models."""
+
+from repro.experiments import figures, run_experiment
+
+from _helpers import save_and_print
+
+
+def test_fig9_report(benchmark):
+    breakdown = benchmark.pedantic(
+        lambda: figures.fig9_layer_breakdown(), rounds=1, iterations=1
+    )
+    save_and_print("fig9", run_experiment("fig9"))
+    # paper: the first layer introduces the most delay (80.4% AlexNet,
+    # 47.5% VGG-Variant in their measurements; the shape we assert is
+    # "largest single contributor")
+    for model in ("AlexNet", "VGG-Variant"):
+        fracs = breakdown[model]
+        assert fracs[0][0] == "conv1"
+        assert fracs[0][1] == max(f for _, f in fracs), model
+    assert breakdown["AlexNet"][0][1] > 0.25

@@ -1,0 +1,32 @@
+"""Table 1 (substituted): QAT accuracy, binary vs w1a2 vs float.
+
+Trains the compact QAT ConvNet on the synthetic dataset (the documented
+ImageNet substitute) for all three precision presets and checks the
+paper's headline relationship: w1a2 stays within a few points of float.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_rows
+
+from _helpers import save_and_print
+
+
+def test_table1_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figures.table1_accuracy(quick=True), rounds=1, iterations=1
+    )
+    report = (
+        "Table 1 (substituted) - QAT accuracy on the synthetic dataset\n"
+        + format_rows(rows, ["precision", "test_accuracy", "train_accuracy"])
+        + "\n\nPaper ImageNet references: "
+        + "; ".join(
+            f"{m}: binary {v['binary']:.1%} / w1a2 {v['w1a2']:.1%} / "
+            f"single {v['single']:.1%}"
+            for m, v in figures.PAPER_TABLE1_ACC.items()
+        )
+    )
+    save_and_print("table1", report)
+    acc = {r["precision"]: r["test_accuracy"] for r in rows}
+    # every preset learns; w1a2 is within a small gap of float (paper: ~2%)
+    assert all(v > 0.4 for v in acc.values()), acc
+    assert acc["w1a2"] >= acc["float"] - 0.2

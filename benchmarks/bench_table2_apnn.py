@@ -1,0 +1,37 @@
+"""Table 2: full-network latency (batch 8) and throughput (batch 128)."""
+
+from repro.core import PrecisionPair
+from repro.experiments import figures
+from repro.experiments.report import format_rows
+from repro.nn.engine import APNNBackend, InferenceEngine
+
+from _helpers import model_cache, save_and_print
+
+
+def test_table2_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figures.table2_apnn_inference(), rounds=1, iterations=1
+    )
+    report = "Table 2 - APNN inference (RTX 3090)\n" + format_rows(
+        rows,
+        ["model", "scheme", "latency_ms", "paper_latency_ms",
+         "throughput_fps", "paper_throughput_fps"],
+    )
+    save_and_print("table2", report)
+    for model in ("AlexNet", "VGG-Variant", "ResNet-18"):
+        by_scheme = {
+            r["scheme"]: r["latency_ms"] for r in rows if r["model"] == model
+        }
+        # paper shapes: APNN-w1a2 wins on every network; >4x vs single
+        assert by_scheme["APNN-w1a2"] == min(by_scheme.values()), model
+        assert by_scheme["CUTLASS-Single"] / by_scheme["APNN-w1a2"] > 4, model
+        assert by_scheme["BNN"] > by_scheme["APNN-w1a2"], model
+
+
+def test_apnn_alexnet_estimate_wall_time(benchmark):
+    """Wall-clock of one full-network latency estimate (autotune + cost)."""
+    engine = InferenceEngine(
+        model_cache("AlexNet"), APNNBackend(PrecisionPair.parse("w1a2"))
+    )
+    report = benchmark(lambda: engine.estimate(8))
+    assert report.total_us > 0

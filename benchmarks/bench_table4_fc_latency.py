@@ -1,0 +1,39 @@
+"""Table 4: raw fully-connected-layer latency (M=64, K=N=1024).
+
+Regenerates the paper's only absolute-microsecond table -- the anchor the
+performance model is calibrated against -- and micro-benchmarks the
+bit-serial APMM kernel that produces it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PrecisionPair
+from repro.experiments import figures, run_experiment
+from repro.kernels import apmm
+
+from _helpers import save_and_print
+
+
+def test_table4_report(benchmark):
+    rows = benchmark.pedantic(figures.table4_fc_latency, rounds=3, iterations=1)
+    save_and_print("table4", run_experiment("table4"))
+    by_kernel = {r["kernel"]: r["latency_us"] for r in rows}
+    # paper ordering: all APMM variants < cutlass-int1 < cutlass-int4
+    assert by_kernel["w1a2"] < by_kernel["cutlass-gemm-int1"]
+    assert by_kernel["cutlass-gemm-int1"] < by_kernel["cutlass-gemm-int4"]
+    for r in rows:
+        assert r["latency_us"] == pytest.approx(r["paper_us"], rel=0.35)
+
+
+@pytest.mark.parametrize("pair_name", ["w1a2", "w2a2"])
+def test_apmm_fc_kernel_wall_time(benchmark, pair_name):
+    """Wall-clock of the simulated bit-serial kernel on the Table 4 shape."""
+    pair = PrecisionPair.parse(pair_name)
+    rng = np.random.default_rng(0)
+    w = pair.weight.random_digits(rng, (1024, 1024))
+    x = pair.activation.random_digits(rng, (64, 1024))
+    result = benchmark(
+        lambda: apmm(w, x, pair.weight, pair.activation, strategy="bitserial")
+    )
+    assert result.output.shape == (1024, 64)

@@ -1,0 +1,70 @@
+"""Semantic-aware kernel fusion, functionally and in the cost model.
+
+Reproduces the Figure 10 experiment end to end: an APConv-w1a2 followed by
+2x2 average pooling and 2-bit re-quantization, executed (a) functionally,
+verifying the fused epilogue math equals the layer-by-layer reference, and
+(b) through the cost model, comparing one fused launch against the
+three-kernel chain with DRAM round trips.
+
+Run:  python examples/kernel_fusion_study.py
+"""
+
+import numpy as np
+
+from repro.core import AffineQuantizer, PrecisionPair
+from repro.experiments.report import format_table
+from repro.kernels import (
+    AvgPoolOp,
+    QuantizeOp,
+    apconv,
+    apply_epilogue,
+    autotune,
+    fused_cost,
+    unfused_costs,
+)
+from repro.perf import LatencyModel, conv_cost, conv_gemm_dims
+from repro.tensorcore import RTX3090
+
+
+def functional_check() -> None:
+    pair = PrecisionPair.parse("w1a2")
+    rng = np.random.default_rng(0)
+    w = pair.weight.random_digits(rng, (32, 16, 3, 3))
+    x = pair.activation.random_digits(rng, (1, 16, 8, 8))
+    conv = apconv(w, x, pair.weight, pair.activation, padding=1)
+
+    quant = AffineQuantizer(bits=2, scale=40.0, zero_point=-60.0)
+    ops = [AvgPoolOp(2), QuantizeOp(quant)]
+    fused_out = apply_epilogue(conv.output.astype(np.float64), ops)
+
+    pooled = conv.output.reshape(1, 32, 4, 2, 4, 2).mean(axis=(3, 5))
+    reference = quant.quantize(pooled)
+    assert np.array_equal(fused_out, reference)
+    print("fused epilogue == layer-by-layer reference: OK "
+          f"(output {fused_out.shape}, 2-bit digits)")
+
+
+def cost_comparison() -> None:
+    model = LatencyModel(RTX3090)
+    rows = []
+    quant = AffineQuantizer(bits=2, scale=1.0)
+    for c in range(128, 1025, 128):
+        m, ngemm, _ = conv_gemm_dims(1, c, c, 16, 16, 3, 1, 1)
+        cfg = autotune(m, ngemm, 1, 2, RTX3090).config
+        base = conv_cost(1, c, c, 16, 16, 3, 1, 2, cfg, stride=1, padding=1)
+        ops = [AvgPoolOp(2), QuantizeOp(quant)]
+        elements = c * 16 * 16
+        fused = model.latency_us(fused_cost(base, ops, elements))
+        chain = model.chain_latency_us(unfused_costs(base, ops, elements))
+        rows.append([c, f"{chain:.1f}", f"{fused:.1f}", f"{chain / fused:.2f}x"])
+    print("\nFigure 10 geometry (conv + pool + quantize), RTX 3090:")
+    print(format_table(
+        ["channels", "unfused us", "fused us", "speedup"], rows
+    ))
+    print("\npaper reports a 1.77x average reduction; the win comes from")
+    print("skipping two kernel launches and the intermediate DRAM round trip.")
+
+
+if __name__ == "__main__":
+    functional_check()
+    cost_comparison()

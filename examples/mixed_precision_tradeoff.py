@@ -1,0 +1,66 @@
+"""The accuracy/performance trade-off across the precision spectrum.
+
+The paper's motivation: arbitrary precision lets applications pick any
+point between binary speed and int8 fidelity.  This example sweeps weight
+and activation bit-widths on the VGG-Variant, printing modeled throughput
+(RTX 3090) next to the emulation workload (p*q one-bit plane products),
+and trains the QAT ConvNet at three representative points to show the
+accuracy side on the synthetic dataset.
+
+Run:  python examples/mixed_precision_tradeoff.py [--with-training]
+"""
+
+import argparse
+
+from repro.core import PrecisionPair
+from repro.experiments.report import format_table
+from repro.nn import APNNBackend, InferenceEngine, LibraryBackend, vgg_variant
+
+
+def sweep_performance() -> None:
+    net = vgg_variant()
+    rows = []
+    for name in ("w1a1", "w1a2", "w1a4", "w2a2", "w2a4", "w1a8", "w2a8",
+                 "w4a4", "w4a8", "w8a8"):
+        pair = PrecisionPair.parse(name)
+        engine = InferenceEngine(net, APNNBackend(pair))
+        fps = engine.estimate(128).throughput_fps
+        lat = engine.estimate(8).latency_ms
+        rows.append([name, pair.plane_product, lat, f"{fps:,.0f}"])
+    int8 = InferenceEngine(net, LibraryBackend("int8"))
+    rows.append(
+        ["int8 (library)", "-", int8.estimate(8).latency_ms,
+         f"{int8.estimate(128).throughput_fps:,.0f}"]
+    )
+    print("VGG-Variant on simulated RTX 3090:\n")
+    print(format_table(
+        ["precision", "bit-planes (p*q)", "batch-8 latency (ms)",
+         "batch-128 fps"],
+        rows,
+    ))
+    print("\nMore bit-planes -> more emulated one-bit GEMMs; past ~8-16")
+    print("planes the built-in int8 path wins (paper Table 3, Fig. 5b).")
+
+
+def sweep_accuracy() -> None:
+    from repro.train import QATConfig, make_dataset, train_model
+
+    print("\nTraining the QAT ConvNet at three precision points "
+          "(synthetic dataset, Table 1 substitute)...")
+    ds = make_dataset(num_classes=10, train_per_class=60, test_per_class=30,
+                      noise=0.3, detail=0.45, seed=0)
+    rows = []
+    for preset in ("binary", "w1a2", "float"):
+        result = train_model(ds, QATConfig.preset(preset, epochs=8, seed=1))
+        rows.append([preset, f"{result.test_accuracy:.1%}"])
+    print(format_table(["precision", "test accuracy"], rows))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--with-training", action="store_true",
+                        help="also run the QAT accuracy sweep (~1 min)")
+    args = parser.parse_args()
+    sweep_performance()
+    if args.with_training:
+        sweep_accuracy()

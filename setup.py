@@ -1,0 +1,4 @@
+"""Setup shim: allows legacy editable installs where the `wheel` package is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""APNN-TC reproduction: arbitrary-precision NNs on simulated Ampere Tensor Cores.
+
+Subpackages
+-----------
+``repro.core``
+    Bit-level emulation algebra (paper section 3): decomposition, Boolean
+    matmul templates, operator selection, quantizers.
+``repro.tensorcore``
+    Functional simulator of Ampere Tensor-Core primitives (bmma 8x8x128
+    XOR/AND, imma int4/int8, hmma fp16) with execution counters.
+``repro.kernels``
+    AP-Layer design (paper section 4): APMM, APConv, tiling, autotuner,
+    layouts, input-aware padding, fused epilogues.
+``repro.baselines``
+    Simulated CUTLASS/cuBLAS kernels and the TCBNN-style binary baseline.
+``repro.perf``
+    Analytical latency model (roofline + occupancy + launch overhead) with
+    per-device calibration (RTX 3090, A100).
+``repro.nn``
+    APNN framework (paper section 5): modules, models (AlexNet, VGG-Variant,
+    ResNet-18), kernel-fusion pass, minimal-traffic dataflow, engine.
+``repro.train``
+    QEM quantization-aware training on a synthetic dataset (Table 1
+    substitute).
+``repro.experiments``
+    Harness regenerating every table and figure of the paper's evaluation.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

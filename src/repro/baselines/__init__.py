@@ -1,0 +1,25 @@
+"""Baseline kernels the paper compares against (simulated libraries)."""
+
+from .bnn import BIPOLAR1, BNN_TILE, bnn_conv, bnn_gemm
+from .cublas import CUBLAS_TILE, cublas_gemm
+from .cutlass import (
+    CUTLASS_GEMM_TILES,
+    INT_RANGES,
+    BaselineResult,
+    cutlass_conv,
+    cutlass_gemm,
+)
+
+__all__ = [
+    "BaselineResult",
+    "cutlass_gemm",
+    "cutlass_conv",
+    "CUTLASS_GEMM_TILES",
+    "INT_RANGES",
+    "cublas_gemm",
+    "CUBLAS_TILE",
+    "bnn_gemm",
+    "bnn_conv",
+    "BNN_TILE",
+    "BIPOLAR1",
+]

@@ -1,0 +1,81 @@
+"""Simulated cuBLAS GEMM: the int8 and fp32 library baselines.
+
+The paper uses ``cublas-gemm-int8`` wherever int8 is needed (cutlass has
+no int8 GEMM in their setup) and cites the measured fact that
+cutlass-gemm-int1 is only ~5.9x faster than cublas-gemm-int8 on RTX 3090
+at peak -- which pins the cublas efficiency constant in
+:mod:`repro.perf.calibration` given GA102's 4x int1:int8 peak ratio.
+
+Modeled like the CUTLASS kernels: fixed 128x128 threadblock tiles, exact
+functional product with operand validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.tiling import TileConfig
+from ..perf.cost import baseline_gemm_cost
+from ..tensorcore.device import DeviceSpec, RTX3090
+from .cutlass import BaselineResult, INT_RANGES
+
+__all__ = ["CUBLAS_TILE", "cublas_tile_for", "cublas_gemm"]
+
+#: cuBLAS IMMA/SGEMM kernels use large square threadblock tiles for
+#: square problems...
+CUBLAS_TILE = TileConfig(128, 128)
+
+_SUPPORTED = ("int8", "fp32")
+
+
+def cublas_tile_for(m: int, n: int) -> TileConfig:
+    """...but the library's heuristics select skinnier tiles when one
+    GEMM dimension is small (e.g. batch-64 fully-connected layers), which
+    is the regime the paper measures."""
+    if min(m, n) < 128:
+        return TileConfig(64, 128)
+    return CUBLAS_TILE
+
+
+def cublas_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    precision: str,
+    device: DeviceSpec = RTX3090,
+) -> BaselineResult:
+    """Simulated ``cublas-gemm-<precision>``: ``Y = A @ B^T``.
+
+    ``a`` is ``(M, K)``, ``b`` is ``(N, K)``.  Only the precisions the
+    paper evaluates through cuBLAS are exposed (int8 on Tensor Cores,
+    fp32 on CUDA cores).
+    """
+    if precision not in _SUPPORTED:
+        raise ValueError(
+            f"cublas baseline supports {_SUPPORTED}, got {precision!r}"
+        )
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"bad GEMM operands: {a.shape} x {b.shape} (need (M,K),(N,K))"
+        )
+    if precision == "int8":
+        lo, hi = INT_RANGES["int8"]
+        for name, arr in (("A", a), ("B", b)):
+            if arr.size and (arr.min() < lo or arr.max() > hi):
+                raise ValueError(f"{name} out of int8 range")
+        out = a.astype(np.int64) @ b.astype(np.int64).T
+        element_bits, compute_class = 8, "int8"
+    else:
+        out = a.astype(np.float32) @ b.astype(np.float32).T
+        element_bits, compute_class = 32, "fp32"
+
+    m, k = a.shape
+    n = b.shape[0]
+    cost = baseline_gemm_cost(
+        m, n, k, element_bits, cublas_tile_for(m, n),
+        compute_class=compute_class,
+        efficiency_key=f"cublas_{precision}",
+        name=f"cublas-gemm-{precision}-{m}x{n}x{k}",
+    )
+    return BaselineResult(output=out, cost=cost)

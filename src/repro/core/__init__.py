@@ -1,0 +1,72 @@
+"""Core bit-level emulation algebra (paper section 3).
+
+Public surface:
+
+* value types: :class:`~repro.core.types.Precision`,
+  :class:`~repro.core.types.Encoding`, :class:`~repro.core.types.PrecisionPair`
+* bit primitives: :func:`~repro.core.bitops.bit_decompose`,
+  :func:`~repro.core.bitops.bit_combine`, :func:`~repro.core.bitops.pack_bits`
+* the AP-Bit template: :func:`~repro.core.emulate.apbit_matmul`
+* operator selection: :func:`~repro.core.opselect.select_operator`
+* quantizers: :class:`~repro.core.quantize.AffineQuantizer`,
+  :class:`~repro.core.quantize.QEMQuantizer`
+"""
+
+from .bitops import (
+    WORD_BITS,
+    bit_combine,
+    bit_decompose,
+    pack_bits,
+    packed_words,
+    popcount,
+    popcount_reduce,
+    unpack_bits,
+)
+from .emulate import (
+    EmulationCounts,
+    apbit_matmul,
+    apbit_matmul_planes,
+    emulation_op_counts,
+    reference_matmul,
+)
+from .opselect import EmulationCase, OperatorPlan, TCOp, classify, select_operator
+from .quantize import (
+    AffineQuantizer,
+    QEMQuantizer,
+    QuantizedTensor,
+    binarize,
+    dorefa_quantize_activations,
+    dorefa_quantize_weights,
+)
+from .types import MAX_BITS, Encoding, Precision, PrecisionPair
+
+__all__ = [
+    "WORD_BITS",
+    "MAX_BITS",
+    "Encoding",
+    "Precision",
+    "PrecisionPair",
+    "bit_decompose",
+    "bit_combine",
+    "pack_bits",
+    "unpack_bits",
+    "packed_words",
+    "popcount",
+    "popcount_reduce",
+    "apbit_matmul",
+    "apbit_matmul_planes",
+    "reference_matmul",
+    "EmulationCounts",
+    "emulation_op_counts",
+    "EmulationCase",
+    "OperatorPlan",
+    "TCOp",
+    "classify",
+    "select_operator",
+    "AffineQuantizer",
+    "QEMQuantizer",
+    "QuantizedTensor",
+    "binarize",
+    "dorefa_quantize_weights",
+    "dorefa_quantize_activations",
+]

@@ -1,0 +1,237 @@
+"""AP-Bit operation template (paper section 3.1).
+
+Emulates a ``p``-bit x ``q``-bit integer matrix product using only 1-bit
+Boolean matrix products plus shifted adds:
+
+1. **bit decomposition** -- split each operand into bit-planes
+   (:func:`repro.core.bitops.bit_decompose`, paper eq. 2);
+2. **1-bit Tensor-Core computation** -- for every plane pair ``(s, t)``
+   compute the popcount-accumulated Boolean product (the ``bmma`` primitive);
+3. **bit combination** -- ``Y = sum_{s,t} 2**(s+t) * plane(s, t)``
+   (paper eq. 1), where each plane product first receives the affine
+   correction demanded by the operand encodings
+   (:mod:`repro.core.opselect`).
+
+Two entry points are provided:
+
+* :func:`apbit_matmul` -- digits in, int64 out; the reference bit-serial
+  path used by kernels and validated against plain integer matmul;
+* :func:`emulation_op_counts` -- the exact operation counts (bmma calls,
+  decomposition/combination element ops) that the performance model charges,
+  matching the paper's cost analysis: decomposition ``O((p+q) n^2)``,
+  combination ``O(p q n^2)``, Tensor-Core work ``O(p q n^3)`` in 1-bit MACs.
+
+Convention: both operands are row-major along the reduction axis, i.e.
+``W`` has shape ``(M, K)`` and ``X`` has shape ``(N, K)``, and the result is
+``decode(W) @ decode(X).T`` of shape ``(M, N)``.  This mirrors the hardware
+``bmma`` contract (both fragments are K-major rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitops import bit_decompose, pack_bits, popcount_reduce
+from .opselect import OperatorPlan, TCOp, select_operator
+from .types import Precision
+
+__all__ = [
+    "apbit_matmul",
+    "apbit_matmul_planes",
+    "reference_matmul",
+    "EmulationCounts",
+    "emulation_op_counts",
+    "INT32_MIN",
+    "INT32_MAX",
+]
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+def reference_matmul(
+    w_digits: np.ndarray,
+    x_digits: np.ndarray,
+    weight: Precision,
+    feature: Precision,
+) -> np.ndarray:
+    """Ground-truth integer product ``decode(W) @ decode(X).T`` (int64)."""
+    wv = weight.decode(np.asarray(w_digits))
+    xv = feature.decode(np.asarray(x_digits))
+    return wv @ xv.T
+
+
+def _plane_popcount(
+    w_planes_packed: np.ndarray,
+    x_planes_packed: np.ndarray,
+    op: TCOp,
+) -> np.ndarray:
+    """Popcount-accumulated Boolean products for all plane pairs at once.
+
+    Parameters
+    ----------
+    w_planes_packed:
+        ``(p, M, nwords)`` uint64 packed weight planes.
+    x_planes_packed:
+        ``(q, N, nwords)`` uint64 packed feature planes.
+    op:
+        Boolean reduction operator.
+
+    Returns
+    -------
+    np.ndarray
+        ``(p, q, M, N)`` int64 popcount sums.
+
+    The broadcast shape ``(p, 1, M, 1, nw) op (1, q, 1, N, nw)`` evaluates
+    every ``(s, t)`` plane pair in one vectorized expression -- the
+    simulator-side analogue of the paper's *batched* BMMA, where all plane
+    pairs are issued as one large Boolean GEMM.
+    """
+    wb = w_planes_packed[:, None, :, None, :]
+    xb = x_planes_packed[None, :, None, :, :]
+    if op is TCOp.AND:
+        combined = wb & xb
+    else:
+        combined = wb ^ xb
+    return popcount_reduce(combined, axis=-1)
+
+
+def apbit_matmul_planes(
+    w_planes: np.ndarray,
+    x_planes: np.ndarray,
+    k_logical: int,
+    plan: OperatorPlan,
+    *,
+    check_overflow: bool = True,
+) -> np.ndarray:
+    """Bit-serial product from already-decomposed 0/1 planes.
+
+    Parameters
+    ----------
+    w_planes:
+        ``(p, M, K)`` 0/1 weight planes.
+    x_planes:
+        ``(q, N, K)`` 0/1 feature planes.
+    k_logical:
+        True reduction length ``K`` (pre-padding); required by the XOR path
+        (``y = K - 2*popc``) and by the affine corrections.
+    plan:
+        Operator plan from :func:`repro.core.opselect.select_operator`.
+    check_overflow:
+        Verify the exact result fits the int32 accumulator contract of the
+        Tensor-Core primitive; raise :class:`OverflowError` otherwise.
+    """
+    w_planes = np.asarray(w_planes)
+    x_planes = np.asarray(x_planes)
+    if w_planes.ndim != 3 or x_planes.ndim != 3:
+        raise ValueError("planes must be (bits, rows, K) arrays")
+    if w_planes.shape[2] != x_planes.shape[2]:
+        raise ValueError(
+            f"K mismatch: {w_planes.shape[2]} vs {x_planes.shape[2]}"
+        )
+
+    wp = pack_bits(w_planes)
+    xp = pack_bits(x_planes)
+    popc = _plane_popcount(wp, xp, plan.op)  # (p, q, M, N)
+
+    plane_vals = plan.popc_scale * popc
+    if plan.k_scale:
+        plane_vals = plane_vals + plan.k_scale * np.int64(k_logical)
+    if plan.needs_row_sums:
+        # rowsum(W_s): (p, M) -> broadcast over (q, N)
+        wsum = popcount_reduce(wp, axis=-1)  # (p, M)
+        plane_vals = plane_vals + plan.wsum_scale * wsum[:, None, :, None]
+    if plan.needs_col_sums:
+        xsum = popcount_reduce(xp, axis=-1)  # (q, N)
+        plane_vals = plane_vals + plan.xsum_scale * xsum[None, :, None, :]
+
+    p, q = w_planes.shape[0], x_planes.shape[0]
+    shifts = np.arange(p, dtype=np.int64)[:, None] + np.arange(q, dtype=np.int64)[None, :]
+    weights = (np.int64(1) << shifts)[:, :, None, None]
+    out = np.sum(plane_vals * weights, axis=(0, 1), dtype=np.int64)
+
+    if check_overflow and out.size and (
+        out.min() < INT32_MIN or out.max() > INT32_MAX
+    ):
+        raise OverflowError(
+            "emulated product exceeds the int32 Tensor-Core accumulator: "
+            f"range [{out.min()}, {out.max()}]"
+        )
+    return out
+
+
+def apbit_matmul(
+    w_digits: np.ndarray,
+    x_digits: np.ndarray,
+    weight: Precision,
+    feature: Precision,
+    *,
+    check_overflow: bool = True,
+) -> np.ndarray:
+    """Arbitrary-precision matmul via 1-bit emulation (paper section 3).
+
+    ``w_digits`` is ``(M, K)`` with raw digits in ``[0, 2**p)``;
+    ``x_digits`` is ``(N, K)`` with raw digits in ``[0, 2**q)``.
+    Returns ``decode(W) @ decode(X).T`` as int64 (values guaranteed to fit
+    int32 when ``check_overflow`` is enabled).
+    """
+    w_digits = np.asarray(w_digits)
+    x_digits = np.asarray(x_digits)
+    if w_digits.ndim != 2 or x_digits.ndim != 2:
+        raise ValueError("operands must be 2-D digit matrices")
+    if w_digits.shape[1] != x_digits.shape[1]:
+        raise ValueError(
+            f"reduction mismatch: W K={w_digits.shape[1]}, X K={x_digits.shape[1]}"
+        )
+    plan = select_operator(weight, feature)
+    w_planes = bit_decompose(w_digits, weight.bits)
+    x_planes = bit_decompose(x_digits, feature.bits)
+    return apbit_matmul_planes(
+        w_planes,
+        x_planes,
+        k_logical=w_digits.shape[1],
+        plan=plan,
+        check_overflow=check_overflow,
+    )
+
+
+@dataclass(frozen=True)
+class EmulationCounts:
+    """Operation counts for the three emulation phases (paper section 3.1).
+
+    Attributes
+    ----------
+    decompose_ops:
+        Element shift/mask operations: ``p*M*K + q*N*K``.
+    bmma_macs:
+        1-bit multiply-accumulate operations executed on Tensor Cores:
+        ``p*q * M*N*K``.
+    combine_ops:
+        Shifted-add operations over partial outputs: ``p*q * M*N``.
+    bmma_calls:
+        Number of 8x8x128 primitive invocations the tiled kernel issues.
+    """
+
+    decompose_ops: int
+    bmma_macs: int
+    combine_ops: int
+    bmma_calls: int
+
+
+def emulation_op_counts(
+    m: int, n: int, k: int, p_bits: int, q_bits: int
+) -> EmulationCounts:
+    """Exact work of emulating an ``M x N x K`` GEMM at ``p x q`` bits."""
+    if min(m, n, k, p_bits, q_bits) < 1:
+        raise ValueError("all dimensions and bit-widths must be >= 1")
+    tiles_m = -(-m // 8) * p_bits
+    tiles_n = -(-n // 8) * q_bits
+    tiles_k = -(-k // 128)
+    return EmulationCounts(
+        decompose_ops=p_bits * m * k + q_bits * n * k,
+        bmma_macs=p_bits * q_bits * m * n * k,
+        combine_ops=p_bits * q_bits * m * n,
+        bmma_calls=tiles_m * tiles_n * tiles_k,
+    )

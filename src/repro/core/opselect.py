@@ -1,0 +1,121 @@
+"""Data-adaptive operator selection (paper section 3.2).
+
+Tensor Cores expose two 1-bit reduction operators: ``XOR`` (Turing+) and
+``AND`` (Ampere+).  Which one emulates a true multiply depends on what the
+stored bits *encode*:
+
+========  ==================  ==================  =============================
+Case      weight encoding     feature encoding    plan
+========  ==================  ==================  =============================
+Case I    unsigned {0,1}      unsigned {0,1}      ``AND`` + popc, no correction
+Case II   bipolar {-1,+1}     bipolar {-1,+1}     ``XOR`` + popc, ``y = K - 2p``
+Case III  bipolar {-1,+1}     unsigned {0,1}      transform ``W_hat=(W+J)/2``,
+                                                  ``AND``, ``WX = 2*W_hat*X - J*X``
+Case IV   unsigned {0,1}      bipolar {-1,+1}     mirror of Case III
+========  ==================  ==================  =============================
+
+Case IV is not enumerated in the paper (it does not occur in its NN
+configurations) but follows from the same linear-transform identity; we
+support it for completeness and test it like the others.
+
+The plan records the Boolean operator plus the affine correction applied
+after popcount accumulation, so kernels can stay encoding-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .types import Encoding, Precision
+
+__all__ = ["TCOp", "EmulationCase", "OperatorPlan", "select_operator"]
+
+
+class TCOp(enum.Enum):
+    """Boolean bit operator available on (simulated) Ampere Tensor Cores."""
+
+    AND = "and"
+    XOR = "xor"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class EmulationCase(enum.Enum):
+    """Which of the paper's operator-selection cases applies."""
+
+    CASE_I = "both-unsigned"
+    CASE_II = "both-bipolar"
+    CASE_III = "bipolar-weight-unsigned-feature"
+    CASE_IV = "unsigned-weight-bipolar-feature"
+
+
+@dataclass(frozen=True)
+class OperatorPlan:
+    """Resolved operator plus the per-plane affine correction.
+
+    For planes ``W_s`` and ``X_t`` over a reduction of logical length ``K``
+    with per-plane popcount ``p``, the true plane product is::
+
+        plane(s, t) = a * p + b_w * rowsum(W_s) + b_x * rowsum(X_t) + c * K
+
+    where ``rowsum`` counts set bits per row.  The final output is
+    ``Y = sum_{s,t} 2**(s+t) * plane(s, t)`` (paper eq. 1 generalized).
+    """
+
+    case: EmulationCase
+    op: TCOp
+    popc_scale: int
+    wsum_scale: int
+    xsum_scale: int
+    k_scale: int
+
+    @property
+    def needs_row_sums(self) -> bool:
+        """Whether the correction needs per-row bit counts of W planes."""
+        return self.wsum_scale != 0
+
+    @property
+    def needs_col_sums(self) -> bool:
+        """Whether the correction needs per-row bit counts of X planes."""
+        return self.xsum_scale != 0
+
+
+_PLANS = {
+    EmulationCase.CASE_I: OperatorPlan(
+        EmulationCase.CASE_I, TCOp.AND, popc_scale=1, wsum_scale=0, xsum_scale=0, k_scale=0
+    ),
+    # (2w-1)(2x-1) summed over K == K - 2 * popc(xor(w, x))
+    EmulationCase.CASE_II: OperatorPlan(
+        EmulationCase.CASE_II, TCOp.XOR, popc_scale=-2, wsum_scale=0, xsum_scale=0, k_scale=1
+    ),
+    # (2w-1) * x summed over K == 2 * popc(and(w, x)) - rowsum(x)
+    EmulationCase.CASE_III: OperatorPlan(
+        EmulationCase.CASE_III, TCOp.AND, popc_scale=2, wsum_scale=0, xsum_scale=-1, k_scale=0
+    ),
+    # w * (2x-1) summed over K == 2 * popc(and(w, x)) - rowsum(w)
+    EmulationCase.CASE_IV: OperatorPlan(
+        EmulationCase.CASE_IV, TCOp.AND, popc_scale=2, wsum_scale=-1, xsum_scale=0, k_scale=0
+    ),
+}
+
+
+def classify(weight: Precision, feature: Precision) -> EmulationCase:
+    """Map an encoding pair to the paper's emulation case."""
+    if weight.encoding is Encoding.UNSIGNED:
+        if feature.encoding is Encoding.UNSIGNED:
+            return EmulationCase.CASE_I
+        return EmulationCase.CASE_IV
+    if feature.encoding is Encoding.UNSIGNED:
+        return EmulationCase.CASE_III
+    return EmulationCase.CASE_II
+
+
+def select_operator(weight: Precision, feature: Precision) -> OperatorPlan:
+    """Pick the Tensor-Core Boolean operator and affine correction.
+
+    This is the paper's *data adaptive operator selection*: the caller never
+    hand-picks XOR vs AND; the encodings of the operands decide.
+    """
+    return _PLANS[classify(weight, feature)]

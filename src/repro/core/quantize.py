@@ -1,0 +1,241 @@
+"""Quantizers used by APNN layers and quantization-aware training.
+
+The paper (sections 2.1 and 5.1) follows LQ-Nets: start from a
+full-precision network and quantize with a *quantization error minimization*
+(QEM) strategy.  At inference time, layers apply the affine quantization
+``y = floor((x - z) / s)`` clamped to the q-bit range (section 5.2).
+
+This module implements:
+
+* :class:`AffineQuantizer` -- the inference-time quantization op with
+  zero-point ``z`` and scale ``s`` (paper section 5.2);
+* :func:`binarize` -- sign binarization to the bipolar {-1,+1} encoding with
+  the mean-absolute scale of BinaryConnect/XNOR-style weights;
+* :class:`QEMQuantizer` -- LQ-Nets-flavoured quantization error minimization:
+  alternates between assignment and closed-form scale updates to minimize
+  ``||x - s * Q(x/s)||^2`` for a symmetric (bipolar) or unsigned grid;
+* :func:`dorefa_quantize_weights` / :func:`dorefa_quantize_activations` --
+  the DoReFa-Net [Zhou et al. 2016] rules, the w1a2 configuration evaluated
+  throughout the paper.
+
+All quantizers return *digits* (raw codes) plus the float parameters needed
+to decode, so the integer kernels can run on digits while accuracy
+evaluation can reconstruct real values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .types import Encoding, Precision
+
+__all__ = [
+    "AffineQuantizer",
+    "QEMQuantizer",
+    "QuantizedTensor",
+    "binarize",
+    "dorefa_quantize_weights",
+    "dorefa_quantize_activations",
+]
+
+
+@dataclass
+class QuantizedTensor:
+    """Digits plus decode parameters: ``values ~= scale * decoded + offset``."""
+
+    digits: np.ndarray
+    precision: Precision
+    scale: float
+    offset: float = 0.0
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct approximate real values."""
+        return self.scale * self.precision.decode(self.digits) + self.offset
+
+    @property
+    def quantization_error(self) -> float:
+        """Placeholder for mean-squared error; filled by quantizers."""
+        raise AttributeError("quantization_error is computed by the quantizer")
+
+
+@dataclass(frozen=True)
+class AffineQuantizer:
+    """Inference-time affine quantization ``y = floor((x - z)/s)``, clamped.
+
+    Matches paper section 5.2: ``z`` is the zero-point, ``s`` the scale and
+    the output digits occupy ``bits`` unsigned bits.
+    """
+
+    bits: int
+    scale: float
+    zero_point: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+
+    @property
+    def precision(self) -> Precision:
+        return Precision(self.bits, Encoding.UNSIGNED)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Real values -> unsigned digits in ``[0, 2**bits - 1]``."""
+        digits = np.floor((np.asarray(x, dtype=np.float64) - self.zero_point) / self.scale)
+        return np.clip(digits, 0, (1 << self.bits) - 1).astype(np.int64)
+
+    def dequantize(self, digits: np.ndarray) -> np.ndarray:
+        """Unsigned digits -> approximate real values."""
+        return np.asarray(digits, dtype=np.float64) * self.scale + self.zero_point
+
+    @classmethod
+    def from_range(cls, lo: float, hi: float, bits: int) -> "AffineQuantizer":
+        """Quantizer covering ``[lo, hi]`` with ``2**bits`` levels."""
+        if hi <= lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        scale = (hi - lo) / ((1 << bits) - 1)
+        return cls(bits=bits, scale=scale, zero_point=lo)
+
+    @classmethod
+    def from_data(cls, x: np.ndarray, bits: int) -> "AffineQuantizer":
+        """Min/max-calibrated quantizer for a sample tensor."""
+        x = np.asarray(x, dtype=np.float64)
+        lo, hi = float(x.min()), float(x.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        return cls.from_range(lo, hi, bits)
+
+
+def binarize(x: np.ndarray) -> QuantizedTensor:
+    """Sign binarization to bipolar digits with mean-|x| scaling.
+
+    ``x ~= alpha * sign(x)`` with ``alpha = mean(|x|)`` -- the classic BNN
+    weight binarization the paper's Case II/III inputs come from.  Zeros map
+    to +1 (digit 1) so every element is representable in one bipolar bit.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    alpha = float(np.mean(np.abs(x))) if x.size else 1.0
+    if alpha == 0.0:
+        alpha = 1.0
+    digits = (x >= 0).astype(np.int64)
+    return QuantizedTensor(
+        digits=digits,
+        precision=Precision(1, Encoding.BIPOLAR),
+        scale=alpha,
+    )
+
+
+class QEMQuantizer:
+    """Quantization-error-minimizing scale search (LQ-Nets style).
+
+    Finds ``s`` minimizing ``||x - s * decode(Q(x/s))||^2`` where ``Q``
+    projects onto the digit grid of ``precision``.  Uses the standard
+    alternating scheme: with assignments ``v = decode(Q(x/s))`` fixed, the
+    optimal scale is ``s* = <x, v> / <v, v>``; iterate to a fixed point.
+
+    Parameters
+    ----------
+    precision:
+        Target grid.  Bipolar grids are symmetric (odd integers around 0 for
+        multi-bit), unsigned grids are ``{0..2**b - 1}``.
+    iters:
+        Alternation steps; convergence is typically < 10.
+    """
+
+    def __init__(self, precision: Precision, iters: int = 25) -> None:
+        if iters < 1:
+            raise ValueError(f"iters must be >= 1, got {iters}")
+        self.precision = precision
+        self.iters = iters
+
+    def _project(self, y: np.ndarray) -> np.ndarray:
+        """Project real values onto the digit grid, returning digits."""
+        prec = self.precision
+        if prec.encoding is Encoding.UNSIGNED:
+            digits = np.rint(y)
+        else:
+            # bipolar levels are 2*d - (2**b - 1): odd-spaced grid, step 2
+            digits = np.rint((y + prec.num_levels - 1) / 2.0)
+        return np.clip(digits, 0, prec.num_levels - 1).astype(np.int64)
+
+    def fit(self, x: np.ndarray) -> QuantizedTensor:
+        """Quantize ``x`` with an error-minimizing scale."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return QuantizedTensor(
+                digits=np.zeros_like(x, dtype=np.int64),
+                precision=self.precision,
+                scale=1.0,
+            )
+        max_level = max(abs(self.precision.min_value), self.precision.max_value, 1)
+        scale = float(np.max(np.abs(x))) / max_level if np.any(x) else 1.0
+        if scale == 0.0:
+            scale = 1.0
+        digits = self._project(x / scale)
+        for _ in range(self.iters):
+            decoded = self.precision.decode(digits).astype(np.float64)
+            denom = float(np.dot(decoded.ravel(), decoded.ravel()))
+            if denom == 0.0:
+                break
+            new_scale = float(np.dot(x.ravel(), decoded.ravel())) / denom
+            if new_scale <= 0.0:
+                break
+            new_digits = self._project(x / new_scale)
+            if new_scale == scale and np.array_equal(new_digits, digits):
+                break
+            scale, digits = new_scale, new_digits
+        return QuantizedTensor(digits=digits, precision=self.precision, scale=scale)
+
+    def error(self, x: np.ndarray) -> float:
+        """Mean-squared quantization error at the fitted scale."""
+        qt = self.fit(x)
+        return float(np.mean((np.asarray(x, dtype=np.float64) - qt.dequantize()) ** 2))
+
+
+def dorefa_quantize_weights(w: np.ndarray, bits: int) -> QuantizedTensor:
+    """DoReFa-Net weight quantization.
+
+    ``bits == 1`` reduces to sign binarization with mean-|w| scale.  For
+    ``bits > 1``: ``w' = tanh(w)/(2*max|tanh(w)|) + 1/2`` mapped to the
+    unsigned grid, then recentred to a symmetric bipolar-per-plane range.
+    We keep the digits unsigned and fold the recentring into
+    ``scale``/``offset`` so kernels see standard unsigned digits.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if bits == 1:
+        return binarize(w)
+    t = np.tanh(w)
+    denom = float(np.max(np.abs(t))) if w.size else 1.0
+    if denom == 0.0:
+        denom = 1.0
+    unit = t / (2.0 * denom) + 0.5  # in [0, 1]
+    levels = (1 << bits) - 1
+    digits = np.rint(unit * levels).astype(np.int64)
+    # decoded value = 2*(digits/levels) - 1 in [-1, 1]
+    scale = 2.0 / levels
+    return QuantizedTensor(
+        digits=digits,
+        precision=Precision(bits, Encoding.UNSIGNED),
+        scale=scale,
+        offset=-1.0,
+    )
+
+
+def dorefa_quantize_activations(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """DoReFa-Net activation quantization: clip to [0,1], round to the grid."""
+    x = np.asarray(x, dtype=np.float64)
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    levels = (1 << bits) - 1
+    clipped = np.clip(x, 0.0, 1.0)
+    digits = np.rint(clipped * levels).astype(np.int64)
+    return QuantizedTensor(
+        digits=digits,
+        precision=Precision(bits, Encoding.UNSIGNED),
+        scale=1.0 / levels,
+    )

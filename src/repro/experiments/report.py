@@ -1,0 +1,54 @@
+"""Plain-text/markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_speedup_sweep", "format_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a markdown table with right-aligned numeric columns."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.3e}")
+            elif cell is None:
+                rendered.append("-")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt(list(headers))]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt(r) for r in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Mapping], columns: Sequence[str],
+                headers: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows, selecting columns in order."""
+    return format_table(
+        headers or columns, [[row.get(c) for c in columns] for row in rows]
+    )
+
+
+def format_speedup_sweep(sweep, precision: int = 2) -> str:
+    """Render a SpeedupSweep as one column per x value."""
+    xs = sorted({x for pts in sweep.series.values() for x, _ in pts})
+    headers = [f"vs {sweep.baseline}"] + [str(x) for x in xs]
+    rows = []
+    for name, pts in sweep.series.items():
+        by_x = dict(pts)
+        rows.append([name] + [
+            f"{by_x[x]:.{precision}f}" if x in by_x else "-" for x in xs
+        ])
+    return format_table(headers, rows)

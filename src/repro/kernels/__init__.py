@@ -1,0 +1,77 @@
+"""AP-Layer design (paper section 4): kernels, tiling, layouts, fusion."""
+
+from .apconv import APConvResult, apconv
+from .apmm import APMMResult, apmm
+from .apmm_sim import apmm_tile_simulate
+from .autotune import TLP_THRESHOLD, TuneResult, autotune
+from .fusion import (
+    AvgPoolOp,
+    BatchNormOp,
+    MaxPoolOp,
+    QuantizeOp,
+    ReLUOp,
+    apply_epilogue,
+    fused_cost,
+    unfused_costs,
+)
+from .layout import (
+    PackedFeatureMap,
+    conv_output_shape,
+    from_nphwc,
+    im2col,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    to_nphwc,
+)
+from .packout import WARP_SIZE, ballot_pack, ballot_unpack, packed_nbytes
+from .padding import PaddingPlan, pad_digits, padding_correction, plan_padding
+from .tiling import (
+    CANDIDATE_TILES,
+    DEFAULT_BK,
+    WARPS_PER_BLOCK,
+    TileConfig,
+    compute_intensity,
+    grid_blocks,
+    tlp,
+)
+
+__all__ = [
+    "APMMResult",
+    "apmm",
+    "APConvResult",
+    "apconv",
+    "apmm_tile_simulate",
+    "TuneResult",
+    "autotune",
+    "TLP_THRESHOLD",
+    "TileConfig",
+    "tlp",
+    "compute_intensity",
+    "grid_blocks",
+    "CANDIDATE_TILES",
+    "DEFAULT_BK",
+    "WARPS_PER_BLOCK",
+    "PackedFeatureMap",
+    "to_nphwc",
+    "from_nphwc",
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+    "im2col",
+    "conv_output_shape",
+    "WARP_SIZE",
+    "ballot_pack",
+    "ballot_unpack",
+    "packed_nbytes",
+    "PaddingPlan",
+    "plan_padding",
+    "pad_digits",
+    "padding_correction",
+    "BatchNormOp",
+    "ReLUOp",
+    "QuantizeOp",
+    "MaxPoolOp",
+    "AvgPoolOp",
+    "apply_epilogue",
+    "fused_cost",
+    "unfused_costs",
+]

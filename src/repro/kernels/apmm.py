@@ -1,0 +1,139 @@
+"""APMM: Arbitrary-Precision Matrix Multiplication (paper section 4.1).
+
+The layer-level GEMM kernel.  Given a ``p``-bit weight matrix ``W`` of
+shape ``(M, K)`` and a ``q``-bit feature matrix ``X`` of shape ``(N, K)``
+(both K-major, matching the Tensor-Core fragment layout), APMM produces
+``Y = decode(W) @ decode(X)^T`` -- as 32-bit integers by default, or
+re-quantized to an arbitrary low-bit output when it feeds the next APNN
+layer (the memory-efficient bit combination of section 4.1b).
+
+Two execution strategies produce bit-identical results:
+
+* ``"bitserial"`` -- the paper's algorithm on the simulated Tensor Core:
+  decompose -> packed-word Boolean GEMM -> shifted-add combination;
+* ``"integer"`` -- reference integer GEMM on the decoded operands, used by
+  the NN engine for speed.  Tests assert equivalence on random problems.
+
+Regardless of strategy, the returned :class:`APMMResult` carries the
+kernel cost assembled from the *batched double caching* design: the
+``p*q`` bit-plane products are issued as one virtual large BMMA whose grid
+covers ``ceil(pM/bm) x ceil(qN/bn)`` blocks, tiles staged in shared
+memory, accumulators pinned in fragments.  Ablation flags reproduce the
+naive designs the paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.emulate import apbit_matmul, reference_matmul
+from ..core.quantize import AffineQuantizer
+from ..core.types import Precision
+from ..perf.cost import KernelCost, gemm_cost
+from ..tensorcore.device import DeviceSpec, RTX3090
+from .autotune import TuneResult, autotune
+from .tiling import TileConfig
+
+__all__ = ["APMMResult", "apmm", "STRATEGIES"]
+
+STRATEGIES = ("integer", "bitserial")
+
+
+@dataclass
+class APMMResult:
+    """Output digits/values plus the costed execution facts."""
+
+    output: np.ndarray
+    cost: KernelCost
+    config: TileConfig
+    tune: TuneResult | None
+    #: Precision of ``output``: None means raw int32 accumulators.
+    out_precision: Precision | None = None
+
+
+def apmm(
+    w_digits: np.ndarray,
+    x_digits: np.ndarray,
+    weight: Precision,
+    feature: Precision,
+    *,
+    device: DeviceSpec = RTX3090,
+    config: TileConfig | None = None,
+    strategy: str = "integer",
+    out_quantizer: AffineQuantizer | None = None,
+    batch_planes: bool = True,
+    double_caching: bool = True,
+    decompose_input: bool = True,
+) -> APMMResult:
+    """Run (and cost) one arbitrary-precision GEMM.
+
+    Parameters
+    ----------
+    w_digits, x_digits:
+        ``(M, K)`` and ``(N, K)`` raw digit matrices.
+    weight, feature:
+        Operand precisions (bits + encoding); they drive operator
+        selection, tiling TLP and the cost model.
+    device:
+        Simulated GPU (tile legality + autotuning target).
+    config:
+        Explicit tiling; autotuned per the paper's heuristic when omitted.
+    strategy:
+        ``"integer"`` (fast reference) or ``"bitserial"`` (the paper's
+        Tensor-Core path); identical outputs.
+    out_quantizer:
+        Optional fused re-quantization to an arbitrary-precision output
+        (section 4.1b); the cost then writes ``q_out``-bit packed data.
+    batch_planes / double_caching / decompose_input:
+        Ablation switches for the paper's design points (default = paper).
+    """
+    w_digits = np.asarray(w_digits)
+    x_digits = np.asarray(x_digits)
+    if w_digits.ndim != 2 or x_digits.ndim != 2:
+        raise ValueError("APMM operands must be 2-D digit matrices")
+    if w_digits.shape[1] != x_digits.shape[1]:
+        raise ValueError(
+            f"K mismatch: W has K={w_digits.shape[1]}, X has K={x_digits.shape[1]}"
+        )
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+
+    m, k = w_digits.shape
+    n = x_digits.shape[0]
+
+    tune = None
+    if config is None:
+        tune = autotune(m, n, weight.bits, feature.bits, device)
+        config = tune.config
+    config.validate_for_device(device)
+
+    if strategy == "bitserial":
+        acc = apbit_matmul(w_digits, x_digits, weight, feature)
+    else:
+        acc = reference_matmul(w_digits, x_digits, weight, feature)
+
+    out_precision = None
+    output = acc
+    out_bits = 32
+    if out_quantizer is not None:
+        output = out_quantizer.quantize(acc.astype(np.float64))
+        out_precision = out_quantizer.precision
+        out_bits = out_quantizer.bits
+
+    cost = gemm_cost(
+        m, n, k, weight.bits, feature.bits, config,
+        out_bits=out_bits,
+        batch_planes=batch_planes,
+        double_caching=double_caching,
+        decompose_input=decompose_input,
+        name=f"apmm-w{weight.bits}a{feature.bits}-{m}x{n}x{k}",
+    )
+    return APMMResult(
+        output=output,
+        cost=cost,
+        config=config,
+        tune=tune,
+        out_precision=out_precision,
+    )

@@ -1,0 +1,178 @@
+"""Explicit tile-level APMM simulation (validation harness).
+
+This module executes the APMM design the way the GPU would: block by
+block, warp by warp, one 8x8x128 ``bmma`` primitive at a time, staging
+tiles through the :class:`~repro.tensorcore.smem.SharedMemory` model and
+pinning accumulators in a :class:`~repro.tensorcore.fragment.FragmentFile`.
+
+It exists to *validate* the fast paths:
+
+* its output must equal both APMM strategies (functional correctness of
+  the tiled schedule, including the virtual plane batching and the grid
+  padding);
+* its recorded :class:`~repro.tensorcore.counters.ExecutionCounters` must
+  equal the closed-form counts of :func:`repro.perf.cost.gemm_cost` --
+  i.e. the performance model charges exactly the work the schedule does.
+
+It is deliberately loop-heavy (it mirrors hardware structure, not NumPy
+idiom) and is only run on small problems in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import bit_decompose, pack_bits, popcount_reduce
+from ..core.opselect import select_operator
+from ..core.types import Precision
+from ..tensorcore.bmma import BMMA_K, BMMA_M, BMMA_N, bmma
+from ..tensorcore.counters import ExecutionCounters
+from ..tensorcore.device import DeviceSpec, RTX3090
+from ..tensorcore.fragment import FragmentFile
+from ..tensorcore.smem import SharedMemory
+from .tiling import TileConfig
+
+__all__ = ["apmm_tile_simulate"]
+
+
+def _batched_planes(digits: np.ndarray, bits: int, rows_padded: int, k_padded: int):
+    """Decompose into planes and stack them into the virtual batched
+    operand of shape (bits * rows, K), zero-padded to the grid."""
+    rows, k = digits.shape
+    planes = bit_decompose(digits, bits)  # (bits, rows, k)
+    batched = planes.reshape(bits * rows, k)
+    out = np.zeros((rows_padded, k_padded), dtype=np.uint8)
+    out[: bits * rows, :k] = batched
+    return out
+
+
+def apmm_tile_simulate(
+    w_digits: np.ndarray,
+    x_digits: np.ndarray,
+    weight: Precision,
+    feature: Precision,
+    cfg: TileConfig,
+    device: DeviceSpec = RTX3090,
+) -> tuple[np.ndarray, ExecutionCounters]:
+    """Run APMM as an explicit block/warp/bmma schedule.
+
+    Returns the int64 output ``decode(W) @ decode(X)^T`` of shape (M, N)
+    and the counters observed while executing the schedule.
+    """
+    w_digits = np.asarray(w_digits)
+    x_digits = np.asarray(x_digits)
+    m, k = w_digits.shape
+    n, k2 = x_digits.shape
+    if k != k2:
+        raise ValueError(f"K mismatch: {k} vs {k2}")
+    cfg.validate_for_device(device)
+
+    p, q = weight.bits, feature.bits
+    plan = select_operator(weight, feature)
+
+    grid_m = -(-(p * m) // cfg.bm)
+    grid_n = -(-(q * n) // cfg.bn)
+    k_iters = -(-k // cfg.bk)
+    pm_pad, qn_pad, k_pad = grid_m * cfg.bm, grid_n * cfg.bn, k_iters * cfg.bk
+
+    counters = ExecutionCounters()
+    counters.kernel_launches = 1
+    counters.blocks = grid_m * grid_n
+    # bit decomposition work (charged by the cost model as cuda_ops)
+    counters.cuda_ops += p * m * k + q * n * k
+
+    wb = _batched_planes(w_digits, p, pm_pad, k_pad)
+    xb = _batched_planes(x_digits, q, qn_pad, k_pad)
+
+    acc_batched = np.zeros((pm_pad, qn_pad), dtype=np.int64)
+    words_per_bk = cfg.bk // 64
+    rows_w, cols_w = cfg.warp_partition
+    wm, wn = cfg.wm, cfg.wn
+    frag_peak = 0
+
+    for gm in range(grid_m):
+        for gn in range(grid_n):
+            smem = SharedMemory(device.max_shared_mem_per_block_bytes, counters)
+            frags = FragmentFile(device.fragment_bytes_per_block)
+            acc = frags.allocate("acc", (cfg.bm, cfg.bn), np.int32)
+            # operand fragments, one pair per warp, reused across K steps
+            for widx in range(cfg.num_warps):
+                frags.allocate(f"a{widx}", (wm, words_per_bk), np.uint64)
+                frags.allocate(f"b{widx}", (wn, words_per_bk), np.uint64)
+            smem.allocate("wtile", (cfg.bm, words_per_bk), np.uint64)
+            smem.allocate("xtile", (cfg.bn, words_per_bk), np.uint64)
+
+            r0, c0 = gm * cfg.bm, gn * cfg.bn
+            for ki in range(k_iters):
+                k0 = ki * cfg.bk
+                # collaborative global -> shared staging (double caching L1)
+                w_tile_bits = wb[r0: r0 + cfg.bm, k0: k0 + cfg.bk]
+                x_tile_bits = xb[c0: c0 + cfg.bn, k0: k0 + cfg.bk]
+                counters.global_bytes_read += (cfg.bm + cfg.bn) * cfg.bk // 8
+                smem.write("wtile", pack_bits(w_tile_bits))
+                smem.write("xtile", pack_bits(x_tile_bits))
+
+                # each warp fetches its slice from shared memory
+                for wr in range(rows_w):
+                    for wc in range(cols_w):
+                        widx = wr * cols_w + wc
+                        wtile = smem.read("wtile")[wr * wm: (wr + 1) * wm]
+                        xtile = smem.read("xtile")[wc * wn: (wc + 1) * wn]
+                        # undo the full-buffer read accounting: a warp only
+                        # touches its own rows
+                        counters.smem_bytes_read -= (
+                            smem.view("wtile").nbytes + smem.view("xtile").nbytes
+                        )
+                        counters.smem_bytes_read += (wm + wn) * cfg.bk // 8
+                        a_frag = frags.get(f"a{widx}")
+                        b_frag = frags.get(f"b{widx}")
+                        a_frag[...] = wtile
+                        b_frag[...] = xtile
+                        # slide the 8x8x128 primitive over the warp tile
+                        for ti in range(wm // BMMA_M):
+                            for tj in range(wn // BMMA_N):
+                                for tk in range(cfg.bk // BMMA_K):
+                                    a = a_frag[
+                                        ti * BMMA_M: (ti + 1) * BMMA_M,
+                                        tk * 2: tk * 2 + 2,
+                                    ]
+                                    b = b_frag[
+                                        tj * BMMA_N: (tj + 1) * BMMA_N,
+                                        tk * 2: tk * 2 + 2,
+                                    ]
+                                    c_view = acc[
+                                        wr * wm + ti * BMMA_M:
+                                        wr * wm + (ti + 1) * BMMA_M,
+                                        wc * wn + tj * BMMA_N:
+                                        wc * wn + (tj + 1) * BMMA_N,
+                                    ]
+                                    bmma(
+                                        np.ascontiguousarray(a),
+                                        np.ascontiguousarray(b),
+                                        c_view,
+                                        plan.op,
+                                    )
+                                    counters.bmma_calls += 1
+            acc_batched[r0: r0 + cfg.bm, c0: c0 + cfg.bn] = acc
+            frag_peak = max(frag_peak, frags.peak_bytes)
+
+    counters.tc_macs = counters.bmma_calls * BMMA_M * BMMA_N * BMMA_K
+    counters.frag_bytes_peak = frag_peak
+
+    # ---- bit combination with the operator plan's affine correction ----
+    popc = acc_batched[: p * m, : q * n].reshape(p, m, q, n).transpose(0, 2, 1, 3)
+    plane_vals = plan.popc_scale * popc
+    if plan.k_scale:
+        plane_vals = plane_vals + plan.k_scale * np.int64(k)
+    if plan.needs_row_sums:
+        wsum = popcount_reduce(pack_bits(bit_decompose(w_digits, p)), axis=-1)
+        plane_vals = plane_vals + plan.wsum_scale * wsum[:, None, :, None]
+    if plan.needs_col_sums:
+        xsum = popcount_reduce(pack_bits(bit_decompose(x_digits, q)), axis=-1)
+        plane_vals = plane_vals + plan.xsum_scale * xsum[None, :, None, :]
+    shifts = np.arange(p, dtype=np.int64)[:, None] + np.arange(q, dtype=np.int64)
+    out = np.sum(plane_vals * (np.int64(1) << shifts)[:, :, None, None], axis=(0, 1))
+
+    counters.cuda_ops += p * q * m * n  # bit combination
+    counters.global_bytes_written += m * n * 4
+    return out, counters

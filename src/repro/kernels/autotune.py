@@ -1,0 +1,149 @@
+"""Heuristic tile autotuner (paper section 4.3.2).
+
+The search space is the cross product of ``bm, bn in {16, 32, 64, 128}``
+(bk fixed at 128).  The paper's two-step heuristic:
+
+1. score every candidate by TLP (eq. 3) and order them in a priority queue,
+   higher TLP first;
+2. if even the highest TLP is below the threshold ``T`` (= 64), keep that
+   candidate -- the problem is too small to fill the GPU, so parallelism is
+   everything; otherwise keep popping and choose, among candidates whose
+   TLP stays >= T, the one with the best compute intensity (eq. 4).
+
+Candidates whose shared-memory or fragment footprint cannot launch on the
+target device are discarded up front.  Ties break deterministically
+(higher TLP, then smaller ``bm``, then smaller ``bn``) so tuning results
+are reproducible.
+
+Results are memoized per (problem, device) since NN inference re-tunes the
+same layer shapes repeatedly; the paper notes different block tilings share
+one data layout, so switching tile sizes between layers has no cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..tensorcore.device import DeviceSpec, get_device
+from .tiling import CANDIDATE_TILES, TileConfig, compute_intensity, tlp
+
+__all__ = ["TuneResult", "autotune", "TLP_THRESHOLD"]
+
+#: Paper: "We empirically set T as 64 in our evaluation."
+TLP_THRESHOLD = 64.0
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Chosen tile plus the scores that justified it."""
+
+    config: TileConfig
+    tlp: float
+    ci: float
+    #: All candidates inspected, as (config, tlp, ci), best first by the
+    #: heuristic's ordering -- kept for ablation studies and reports.
+    ranking: tuple[tuple[TileConfig, float, float], ...]
+
+
+def _candidates(device: DeviceSpec) -> list[TileConfig]:
+    out = []
+    for bm in CANDIDATE_TILES:
+        for bn in CANDIDATE_TILES:
+            cfg = TileConfig(bm, bn)
+            try:
+                cfg.validate_for_device(device)
+            except ValueError:
+                continue
+            out.append(cfg)
+    if not out:
+        raise RuntimeError(f"no feasible tile candidates on {device.name}")
+    return out
+
+
+@lru_cache(maxsize=4096)
+def _autotune_cached(
+    m: int, n: int, p_bits: int, q_bits: int, device_name: str,
+    threshold: float,
+) -> TuneResult:
+    device = get_device(device_name)
+    scored = []
+    for cfg in _candidates(device):
+        t = tlp(m, n, p_bits, q_bits, cfg)
+        c = compute_intensity(cfg)
+        scored.append((cfg, t, c))
+
+    # Priority queue ordered by TLP (higher first); deterministic tie-break.
+    heap = [(-t, cfg.bm, cfg.bn, cfg, t, c) for cfg, t, c in scored]
+    heapq.heapify(heap)
+    ordered = [heapq.heappop(heap)[3:] for _ in range(len(heap))]
+
+    best_cfg, best_tlp, best_ci = ordered[0]
+    if best_tlp < threshold:
+        # Step 2a: even the most parallel tiling cannot fill the GPU;
+        # stick with maximum TLP.
+        choice = (best_cfg, best_tlp, best_ci)
+    else:
+        # Step 2b: among TLP >= T, improve CI.
+        feasible = [(cfg, t, c) for cfg, t, c in ordered if t >= threshold]
+        choice = max(feasible, key=lambda item: (item[2], item[1],
+                                                 -item[0].bm, -item[0].bn))
+    return TuneResult(
+        config=choice[0], tlp=choice[1], ci=choice[2], ranking=tuple(ordered)
+    )
+
+
+def autotune(
+    m: int,
+    n: int,
+    p_bits: int,
+    q_bits: int,
+    device: DeviceSpec | str,
+    threshold: float = TLP_THRESHOLD,
+) -> TuneResult:
+    """Select block tiling for a ``p``-bit x ``q``-bit GEMM of size M x N.
+
+    Parameters
+    ----------
+    m:
+        Rows of the weight operand (e.g. output channels).
+    n:
+        Rows of the feature operand (e.g. batch x spatial positions).
+    p_bits, q_bits:
+        Operand bit-widths; they scale TLP because the batched BMMA grid
+        covers every bit-plane (paper section 4.1a).
+    device:
+        Target device or its registered name.
+    threshold:
+        TLP floor ``T`` (paper default 64).
+    """
+    if min(m, n, p_bits, q_bits) < 1:
+        raise ValueError("m, n, p_bits, q_bits must all be >= 1")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    name = device.name if isinstance(device, DeviceSpec) else device
+    # Unregistered custom DeviceSpec: bypass the cache.
+    if isinstance(device, DeviceSpec):
+        try:
+            registered = get_device(name) is device
+        except KeyError:
+            registered = False
+        if not registered:
+            return _autotune_uncached(m, n, p_bits, q_bits, device, threshold)
+    return _autotune_cached(m, n, p_bits, q_bits, name, threshold)
+
+
+def _autotune_uncached(m, n, p_bits, q_bits, device, threshold):
+    scored = [
+        (cfg, tlp(m, n, p_bits, q_bits, cfg), compute_intensity(cfg))
+        for cfg in _candidates(device)
+    ]
+    ordered = sorted(scored, key=lambda it: (-it[1], it[0].bm, it[0].bn))
+    best_cfg, best_tlp, best_ci = ordered[0]
+    if best_tlp < threshold:
+        choice = ordered[0]
+    else:
+        feasible = [it for it in ordered if it[1] >= threshold]
+        choice = max(feasible, key=lambda it: (it[2], it[1], -it[0].bm, -it[0].bn))
+    return TuneResult(choice[0], choice[1], choice[2], tuple(ordered))

@@ -1,0 +1,152 @@
+"""Data layouts for arbitrary-precision tensors (paper section 4.2a).
+
+Feature maps are 4-D ``(N, C, H, W)`` integer digit arrays.  For bit-level
+convolution the paper replaces the traditional NCHW layout with the
+**channel-major NPHWC** organization (Fig. 4):
+
+* the ``P`` bit-planes of a ``P``-bit tensor are split apart and each plane
+  is stored contiguously -- every plane is a plain binary tensor, so loads
+  are word-aligned for any ``P``;
+* within a plane, all ``C`` channels of one spatial position are
+  consecutive (channels innermost) and packed into 64-bit words -- a
+  ``K x K`` window then reads ``K*K`` contiguous channel runs instead of
+  ``K``-strided scalars, giving coalesced access.
+
+:class:`PackedFeatureMap` is the NPHWC container used between APNN layers
+(the minimal-traffic dataflow of section 5.1 keeps activations in this
+packed form end to end).  :func:`im2col` lowers convolution windows to the
+GEMM operand layout both execution strategies consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitops import bit_combine, bit_decompose, pack_bits, packed_words, unpack_bits
+from ..core.types import Precision
+
+__all__ = [
+    "PackedFeatureMap",
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+    "to_nphwc",
+    "from_nphwc",
+    "im2col",
+    "conv_output_shape",
+]
+
+
+def nchw_to_nhwc(x: np.ndarray) -> np.ndarray:
+    """(N, C, H, W) -> (N, H, W, C)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4-D NCHW tensor, got shape {x.shape}")
+    return np.ascontiguousarray(np.transpose(x, (0, 2, 3, 1)))
+
+
+def nhwc_to_nchw(x: np.ndarray) -> np.ndarray:
+    """(N, H, W, C) -> (N, C, H, W)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected 4-D NHWC tensor, got shape {x.shape}")
+    return np.ascontiguousarray(np.transpose(x, (0, 3, 1, 2)))
+
+
+@dataclass
+class PackedFeatureMap:
+    """Bit-planed, channel-packed feature map (NPHWC, Fig. 4b).
+
+    Attributes
+    ----------
+    words:
+        ``(N, P, H, W, ceil(C/64))`` uint64; bit ``c % 64`` of word
+        ``c // 64`` at plane ``s`` holds bit ``s`` of channel ``c``.
+    channels:
+        Logical channel count ``C`` (the last word may be zero-padded).
+    precision:
+        Bit-width + encoding of the digits.
+    """
+
+    words: np.ndarray
+    channels: int
+    precision: Precision
+
+    @property
+    def batch(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.words.shape[2]
+
+    @property
+    def width(self) -> int:
+        return self.words.shape[3]
+
+    @property
+    def nbytes(self) -> int:
+        """Physical storage -- the quantity the minimal-traffic dataflow
+        minimizes (q-bit packed vs 32-bit unpacked, section 5.1)."""
+        return self.words.nbytes
+
+    @property
+    def logical_bits(self) -> int:
+        """Bits of true payload (excludes word padding)."""
+        n, p, h, w, _ = self.words.shape
+        return n * p * h * w * self.channels
+
+
+def to_nphwc(digits: np.ndarray, precision: Precision) -> PackedFeatureMap:
+    """Pack an (N, C, H, W) digit tensor into the NPHWC layout."""
+    if digits.ndim != 4:
+        raise ValueError(f"expected 4-D NCHW digits, got shape {digits.shape}")
+    n, c, h, w = digits.shape
+    planes = bit_decompose(digits, precision.bits)  # (P, N, C, H, W)
+    # channel-major: (P, N, H, W, C) then pack C into words
+    planes = np.transpose(planes, (1, 0, 3, 4, 2))  # (N, P, H, W, C)
+    words = pack_bits(planes)
+    return PackedFeatureMap(words=words, channels=c, precision=precision)
+
+
+def from_nphwc(packed: PackedFeatureMap) -> np.ndarray:
+    """Unpack NPHWC back to (N, C, H, W) digits (inverse of to_nphwc)."""
+    bits = unpack_bits(packed.words, packed.channels)  # (N, P, H, W, C)
+    planes = np.transpose(bits, (1, 0, 4, 2, 3))  # (P, N, C, H, W)
+    return bit_combine(planes)
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[int, int]:
+    """Spatial output dims of a convolution."""
+    if kernel < 1 or stride < 1 or padding < 0:
+        raise ValueError("kernel/stride must be >= 1 and padding >= 0")
+    oh = (height + 2 * padding - kernel) // stride + 1
+    ow = (width + 2 * padding - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"conv window {kernel} exceeds padded input {height}x{width}+{padding}"
+        )
+    return oh, ow
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int = 1
+) -> np.ndarray:
+    """Lower (N, C, H, W) windows to GEMM rows: (N*OH*OW, C*kernel*kernel).
+
+    The input must already be padded (padding strategy is encoding-aware
+    and handled by :mod:`repro.kernels.padding`).  Column order is
+    ``(C, kh, kw)``, matching the flattened weight layout
+    ``W.reshape(C_out, C*kernel*kernel)``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected 4-D NCHW tensor, got shape {x.shape}")
+    n, c, h, w = x.shape
+    oh, ow = conv_output_shape(h, w, kernel, stride, padding=0)
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    # windows: (N, C, OH', OW', kh, kw) where OH' = H - kernel + 1
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # -> (N, OH, OW, C, kh, kw)
+    windows = np.transpose(windows, (0, 2, 3, 1, 4, 5))
+    return np.ascontiguousarray(windows.reshape(n * oh * ow, c * kernel * kernel))

@@ -1,0 +1,106 @@
+"""Memory-efficient arbitrary-precision output packing (paper section 4.1b).
+
+When APMM/APConv feeds the next APNN layer, its epilogue quantizes the
+32-bit accumulators to ``q``-bit digits and must store them *packed*:
+32 threads each hold one low-bit value in a register, and a
+``__ballot_sync``-style vote assembles bit-plane words directly --
+one 32-bit word per bit-plane per 32 outputs -- with no shared-memory
+staging.
+
+This module reproduces that exchange exactly, word for word:
+
+* :func:`ballot_pack` -- the element-wise routine + inter-thread ballot:
+  digits laid out along the fastest axis are split into bit-planes and
+  packed into uint32 words (bit ``lane`` of word ``w`` of plane ``s`` is
+  bit ``s`` of the digit of element ``32*w + lane``);
+* :func:`ballot_unpack` -- the consumer-side inverse (what the next
+  layer's fragment loader performs);
+* :func:`packed_nbytes` -- the boundary-tensor size the minimal-traffic
+  dataflow accounts for.
+
+Tests assert the roundtrip and that a two-layer chain through the packed
+boundary is bit-identical to the unpacked chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WARP_SIZE", "ballot_pack", "ballot_unpack", "packed_nbytes"]
+
+#: Lanes participating in one ballot.
+WARP_SIZE = 32
+
+
+def packed_nbytes(n_elements: int, bits: int) -> int:
+    """Bytes of the ballot-packed representation of ``n_elements`` digits."""
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be >= 0, got {n_elements}")
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    words_per_plane = -(-n_elements // WARP_SIZE)
+    return words_per_plane * bits * 4
+
+
+def ballot_pack(digits: np.ndarray, bits: int) -> np.ndarray:
+    """Pack low-bit digits into per-plane uint32 ballot words.
+
+    Parameters
+    ----------
+    digits:
+        1-D integer array of values in ``[0, 2**bits)`` (flatten
+        higher-rank tensors first; the layout contract is fastest-axis
+        major, matching the store order of the producing kernel).
+    bits:
+        Digit width ``q``.
+
+    Returns
+    -------
+    np.ndarray
+        ``(bits, ceil(n/32))`` uint32 -- plane ``s``, word ``w`` holds bit
+        ``s`` of elements ``32*w .. 32*w+31`` (lane = bit position).
+    """
+    digits = np.asarray(digits)
+    if digits.ndim != 1:
+        raise ValueError(f"digits must be 1-D (flatten first), got {digits.ndim}-D")
+    if not np.issubdtype(digits.dtype, np.integer):
+        raise TypeError(f"digits must be integers, got {digits.dtype}")
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    if digits.size and (digits.min() < 0 or digits.max() >= (1 << bits)):
+        raise ValueError(
+            f"digits out of range for {bits}-bit packing: "
+            f"[{digits.min()}, {digits.max()}]"
+        )
+    n = digits.size
+    n_words = -(-n // WARP_SIZE)
+    padded = np.zeros(n_words * WARP_SIZE, dtype=np.uint32)
+    padded[:n] = digits.astype(np.uint32)
+    lanes = padded.reshape(n_words, WARP_SIZE)
+    lane_weights = np.uint32(1) << np.arange(WARP_SIZE, dtype=np.uint32)
+    planes = np.empty((bits, n_words), dtype=np.uint32)
+    for s in range(bits):
+        # the ballot: every lane votes its s-th digit bit
+        votes = (lanes >> np.uint32(s)) & np.uint32(1)
+        planes[s] = (votes * lane_weights).sum(axis=1, dtype=np.uint64).astype(
+            np.uint32
+        )
+    return planes
+
+
+def ballot_unpack(words: np.ndarray, n_elements: int) -> np.ndarray:
+    """Inverse of :func:`ballot_pack`: uint32 plane words -> int64 digits."""
+    words = np.asarray(words, dtype=np.uint32)
+    if words.ndim != 2:
+        raise ValueError(f"words must be (bits, n_words), got shape {words.shape}")
+    bits, n_words = words.shape
+    if n_elements < 0 or n_elements > n_words * WARP_SIZE:
+        raise ValueError(
+            f"n_elements={n_elements} inconsistent with {n_words} ballot words"
+        )
+    lanes = np.arange(WARP_SIZE, dtype=np.uint32)
+    out = np.zeros(n_words * WARP_SIZE, dtype=np.int64)
+    for s in range(bits):
+        votes = (words[s][:, None] >> lanes) & np.uint32(1)
+        out += votes.astype(np.int64).reshape(-1) << s
+    return out[:n_elements]

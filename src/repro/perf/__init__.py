@@ -1,0 +1,26 @@
+"""Analytical performance model: calibrated roofline + occupancy pricing."""
+
+from .calibration import DEFAULT_CALIBRATION, EFFICIENCY_KEYS, Calibration
+from .cost import (
+    KernelCost,
+    baseline_conv_cost,
+    baseline_gemm_cost,
+    conv_cost,
+    conv_gemm_dims,
+    gemm_cost,
+)
+from .model import LatencyBreakdown, LatencyModel
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "EFFICIENCY_KEYS",
+    "KernelCost",
+    "gemm_cost",
+    "baseline_gemm_cost",
+    "conv_cost",
+    "baseline_conv_cost",
+    "conv_gemm_dims",
+    "LatencyBreakdown",
+    "LatencyModel",
+]

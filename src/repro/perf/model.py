@@ -1,0 +1,164 @@
+"""Analytical latency model: counted work -> microseconds.
+
+The model prices a :class:`~repro.perf.cost.KernelCost` with a roofline
+augmented by two occupancy effects the paper's results hinge on:
+
+* **compute utilization** -- Tensor-Core throughput scales with how much
+  of the GPU the block grid covers: ``util = min(1, blocks /
+  (sm_count * saturation_blocks_per_sm))``.  The paper's TLP metric
+  (eq. 3) is exactly ``blocks``; small problems (e.g. M=64 fully-connected
+  layers) leave most SMs idle, which is why the batched APMM -- whose grid
+  covers every bit-plane -- beats both int4/int8 libraries *and* the int1
+  cutlass kernel on NN-sized problems (Table 4, Fig. 12);
+* **memory-level parallelism** -- a small grid also cannot saturate DRAM;
+  achievable bandwidth is ``min(1, mem_parallelism * blocks / sm_count)``
+  of the device's streaming bandwidth.
+
+Total latency of a launch chain::
+
+    launches * launch_overhead + (launches-1) * sync
+      + max(t_tensor_core, t_dram) + t_epilogue
+
+Epilogue work (bit decomposition, bit combination, quantization, padding
+correction) runs on CUDA cores concurrently with nothing -- it is charged
+serially, which matches the paper's observation that these O(n^2) phases
+cost a small percentage of the O(n^3) TC phase (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tensorcore.device import DeviceSpec
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .cost import KernelCost
+
+__all__ = ["LatencyBreakdown", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Itemized kernel latency, all in microseconds."""
+
+    name: str
+    launch_us: float
+    compute_us: float
+    memory_us: float
+    epilogue_us: float
+    compute_util: float
+    memory_util: float
+
+    @property
+    def total_us(self) -> float:
+        return self.launch_us + max(self.compute_us, self.memory_us) + self.epilogue_us
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates."""
+        if self.compute_us >= self.memory_us:
+            return "compute"
+        return "memory"
+
+
+class LatencyModel:
+    """Prices kernel costs on one device with one calibration."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.device = device
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+    def concurrent_blocks_per_sm(self, cost: KernelCost) -> int:
+        """How many of this kernel's blocks one SM can host at once."""
+        dev = self.device
+        limits = [dev.max_blocks_per_sm]
+        if cost.warps_per_block > 0:
+            limits.append(dev.max_warps_per_sm // cost.warps_per_block)
+        if cost.smem_bytes_per_block > 0:
+            limits.append(dev.shared_mem_per_sm_bytes // cost.smem_bytes_per_block)
+        return max(1, min(limits))
+
+    def compute_utilization(self, cost: KernelCost) -> float:
+        """Fraction of peak TC throughput this grid can drive."""
+        sat = (
+            self.device.sm_count
+            * self.calibration.compute_saturation_blocks_per_sm
+        )
+        # Hosting limit: blocks runnable at once can never exceed the
+        # per-SM residency limit.
+        resident = min(
+            cost.counters.blocks,
+            self.concurrent_blocks_per_sm(cost) * self.device.sm_count,
+        )
+        return min(1.0, resident / sat)
+
+    def memory_utilization(self, cost: KernelCost) -> float:
+        """Fraction of streaming DRAM bandwidth this grid can drive."""
+        frac = (
+            self.calibration.mem_parallelism
+            * cost.counters.blocks
+            / self.device.sm_count
+        )
+        return min(1.0, max(frac, 1e-9))
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
+    def kernel_latency(self, cost: KernelCost) -> LatencyBreakdown:
+        """Price one kernel (or fused launch chain)."""
+        dev, cal = self.device, self.calibration
+        counters = cost.counters
+        counters.validate()
+        if counters.kernel_launches < 1:
+            raise ValueError(f"{cost.name}: kernel_launches must be >= 1")
+
+        eff = cal.efficiency[cost.efficiency_key]
+        peak = dev.peak_ops_per_sec(cost.compute_class)
+        cu = self.compute_utilization(cost)
+        ops = 2 * counters.tc_macs  # 1 MAC = 2 ops, matching TOPS convention
+        compute_s = ops / (peak * eff * cu) if ops else 0.0
+
+        mu = self.memory_utilization(cost)
+        bw = dev.dram_bandwidth_gbs * 1e9 * dev.dram_efficiency * mu
+        reads = counters.global_bytes_read
+        if cost.unique_read_bytes > 0:
+            # L2 serves cross-block re-reads of the shared operand panels.
+            reads = max(
+                cost.unique_read_bytes, int(cal.l2_miss_fraction * reads)
+            )
+        dram_bytes = reads + counters.global_bytes_written
+        memory_s = dram_bytes / bw if dram_bytes else 0.0
+
+        epi_rate = (
+            dev.peak_ops_per_sec("fp32") * cal.epilogue_ops_fraction_of_fp32
+        )
+        epilogue_s = counters.cuda_ops / epi_rate if counters.cuda_ops else 0.0
+
+        launches = counters.kernel_launches
+        launch_us = (
+            launches * dev.launch_overhead_us
+            + (launches - 1) * cal.dependent_launch_sync_us
+        )
+        return LatencyBreakdown(
+            name=cost.name,
+            launch_us=launch_us,
+            compute_us=compute_s * 1e6,
+            memory_us=memory_s * 1e6,
+            epilogue_us=epilogue_s * 1e6,
+            compute_util=cu,
+            memory_util=mu,
+        )
+
+    def latency_us(self, cost: KernelCost) -> float:
+        """Shortcut: total microseconds for one kernel cost."""
+        return self.kernel_latency(cost).total_us
+
+    def chain_latency_us(self, costs: list[KernelCost]) -> float:
+        """Total microseconds of a dependent kernel sequence."""
+        return sum(self.latency_us(c) for c in costs)

@@ -1,0 +1,146 @@
+"""Device specifications for the simulated GPUs.
+
+The paper evaluates on two Ampere parts -- GeForce RTX 3090 (GA102) and
+Tesla A100 (GA100).  :class:`DeviceSpec` captures the architectural numbers
+the kernels and the performance model need:
+
+* SM count / clock / DRAM bandwidth -- occupancy and roofline terms;
+* per-precision Tensor-Core peak throughput -- emulation trade-off terms
+  (e.g. A100's int1 peak is 8x its int8 peak, GA102's only 4x, which is why
+  the paper's A100 speedups over int8 are larger, Fig. 6 vs Fig. 5);
+* shared-memory / register-file capacities -- tiling-legality checks for
+  the double-caching design (paper section 4.1: one block of 8 warps owns
+  up to 256 KB of fragment storage);
+* kernel launch overhead -- the latency floor that makes all small APMM
+  variants cluster around ~7 us in the paper's Table 4.
+
+Peak numbers follow the public Ampere whitepaper/datasheets (dense, no
+sparsity).  They parameterize the model; the *shape* of every reproduced
+result comes from counted work, not from these constants alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["DeviceSpec", "RTX3090", "A100", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one simulated GPU."""
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+    shared_mem_per_sm_bytes: int
+    max_shared_mem_per_block_bytes: int
+    register_file_per_sm_bytes: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    #: Dense peak throughput in tera-ops/s per compute class.  Keys:
+    #: ``int1`` (bmma XOR/AND), ``int4``, ``int8`` (imma), ``fp16`` (hmma),
+    #: ``fp32`` (CUDA cores, FMA counted as 2 ops).
+    peak_tops: Mapping[str, float]
+    #: Fixed cost charged per kernel launch (microseconds), covering launch,
+    #: sync and driver overhead as observed by event timing.
+    launch_overhead_us: float
+    #: Fraction of nominal DRAM bandwidth achievable by well-coalesced
+    #: kernels (streaming efficiency).
+    dram_efficiency: float = 0.82
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ValueError(f"sm_count must be positive, got {self.sm_count}")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.dram_bandwidth_gbs <= 0:
+            raise ValueError("dram_bandwidth_gbs must be positive")
+        if not 0 < self.dram_efficiency <= 1:
+            raise ValueError("dram_efficiency must be in (0, 1]")
+        missing = {"int1", "int4", "int8", "fp16", "fp32"} - set(self.peak_tops)
+        if missing:
+            raise ValueError(f"peak_tops missing classes: {sorted(missing)}")
+        object.__setattr__(self, "peak_tops", MappingProxyType(dict(self.peak_tops)))
+
+    def peak_ops_per_sec(self, compute_class: str) -> float:
+        """Peak throughput in scalar ops/second for a compute class."""
+        try:
+            return self.peak_tops[compute_class] * 1e12
+        except KeyError as exc:
+            raise KeyError(
+                f"{self.name} has no compute class {compute_class!r}; "
+                f"available: {sorted(self.peak_tops)}"
+            ) from exc
+
+    @property
+    def fragment_bytes_per_block(self) -> int:
+        """Register-fragment capacity of one block of 8 warps.
+
+        Paper section 4.1(a): dissection studies show one GPU block of
+        8 warps can address up to 256 KB of fragment storage.
+        """
+        return min(self.register_file_per_sm_bytes, 256 * 1024)
+
+
+#: GeForce RTX 3090 (GA102).  82 SMs at ~1.7 GHz; GDDR6X 936 GB/s.
+#: Tensor peaks (dense): fp16 142, int8 284, int4 568, int1 1136 TOPS;
+#: CUDA-core fp32 35.6 TFLOPS.
+RTX3090 = DeviceSpec(
+    name="RTX3090",
+    sm_count=82,
+    clock_ghz=1.695,
+    dram_bandwidth_gbs=936.0,
+    shared_mem_per_sm_bytes=128 * 1024,
+    max_shared_mem_per_block_bytes=100 * 1024,
+    register_file_per_sm_bytes=256 * 1024,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=16,
+    peak_tops={
+        "int1": 1136.0,
+        "int4": 568.0,
+        "int8": 284.0,
+        "fp16": 142.0,
+        "fp32": 35.6,
+    },
+    launch_overhead_us=5.6,
+)
+
+#: Tesla A100 (GA100, 40 GB SXM).  108 SMs at 1.41 GHz; HBM2 1555 GB/s.
+#: Tensor peaks (dense): fp16 312, int8 624, int4 1248, int1 4992 TOPS;
+#: CUDA-core fp32 19.5 TFLOPS.  Note int1 is 8x int8 (vs 4x on GA102).
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    clock_ghz=1.41,
+    dram_bandwidth_gbs=1555.0,
+    shared_mem_per_sm_bytes=164 * 1024,
+    max_shared_mem_per_block_bytes=160 * 1024,
+    register_file_per_sm_bytes=256 * 1024,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    peak_tops={
+        "int1": 4992.0,
+        "int4": 1248.0,
+        "int8": 624.0,
+        "fp16": 312.0,
+        "fp32": 19.5,
+    },
+    launch_overhead_us=5.2,
+)
+
+DEVICES: Mapping[str, DeviceSpec] = MappingProxyType(
+    {d.name: d for d in (RTX3090, A100)}
+)
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a registered device by (case-insensitive) name."""
+    key = name.strip().upper()
+    for dev_name, dev in DEVICES.items():
+        if dev_name.upper() == key:
+            return dev
+    raise KeyError(f"unknown device {name!r}; registered: {list(DEVICES)}")

@@ -1,0 +1,81 @@
+"""Register-fragment accounting for one simulated thread block.
+
+Paper section 4.1(a), *fragment caching*: Tensor-Core accumulators live in
+registers ("fragments"), and dissection studies show one block of 8 warps
+can address roughly 256 KB of them -- more than shared memory.  APMM
+exploits this by keeping all ``bm x bn`` int32 output tiles resident in
+fragments across the K loop, never spilling them to shared memory.
+
+:class:`FragmentFile` enforces the capacity so tiling configurations that
+would not fit on real hardware fail loudly in the simulator, and records
+the high-water mark the performance model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FragmentFile", "FragmentAllocation"]
+
+
+@dataclass
+class FragmentAllocation:
+    """A live fragment: a named, shaped register allocation."""
+
+    name: str
+    array: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+
+class FragmentFile:
+    """Tracks fragment allocations of one thread block against capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._live: dict[str, FragmentAllocation] = {}
+        self.peak_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._live.values())
+
+    def allocate(
+        self, name: str, shape: tuple[int, ...], dtype=np.int32
+    ) -> np.ndarray:
+        """Allocate a zeroed fragment; raises if capacity would be exceeded."""
+        if name in self._live:
+            raise KeyError(f"fragment {name!r} already allocated")
+        arr = np.zeros(shape, dtype=dtype)
+        new_used = self.used_bytes + arr.nbytes
+        if new_used > self.capacity_bytes:
+            raise MemoryError(
+                f"fragment file overflow: allocating {name!r} ({arr.nbytes} B) "
+                f"would use {new_used} B of {self.capacity_bytes} B"
+            )
+        self._live[name] = FragmentAllocation(name, arr)
+        self.peak_bytes = max(self.peak_bytes, new_used)
+        return arr
+
+    def free(self, name: str) -> None:
+        """Release a fragment."""
+        try:
+            del self._live[name]
+        except KeyError as exc:
+            raise KeyError(f"fragment {name!r} is not allocated") from exc
+
+    def get(self, name: str) -> np.ndarray:
+        return self._live[name].array
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._live
+
+    def reset(self) -> None:
+        """Free everything (block exit); peak is preserved."""
+        self._live.clear()

@@ -1,0 +1,14 @@
+"""Accuracy substrate for Table 1: synthetic data + QEM-style QAT."""
+
+from .data import SyntheticImages, make_dataset
+from .qat import QATConfig, QATConvNet, TrainResult, evaluate, train_model
+
+__all__ = [
+    "SyntheticImages",
+    "make_dataset",
+    "QATConfig",
+    "QATConvNet",
+    "TrainResult",
+    "evaluate",
+    "train_model",
+]

@@ -1,0 +1,187 @@
+"""Tests for simulated CUTLASS / cuBLAS / BNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BIPOLAR1,
+    bnn_conv,
+    bnn_gemm,
+    cublas_gemm,
+    cutlass_conv,
+    cutlass_gemm,
+)
+from repro.core import Encoding, Precision
+from repro.kernels import apmm
+from repro.perf import LatencyModel
+from repro.tensorcore import RTX3090
+
+
+def _rand(seed, shape, lo, hi):
+    return np.random.default_rng(seed).integers(lo, hi + 1, size=shape)
+
+
+class TestCutlassGemm:
+    def test_int8_exact(self):
+        a = _rand(0, (16, 32), -128, 127)
+        b = _rand(1, (24, 32), -128, 127)
+        res = cutlass_gemm(a, b, "int8")
+        assert np.array_equal(res.output, a @ b.T)
+
+    def test_int4_exact_and_validated(self):
+        a = _rand(2, (8, 16), -8, 7)
+        b = _rand(3, (8, 16), -8, 7)
+        assert np.array_equal(cutlass_gemm(a, b, "int4").output, a @ b.T)
+        with pytest.raises(ValueError, match="int4 range"):
+            cutlass_gemm(a * 2, b, "int4")
+
+    def test_int1_binary(self):
+        a = _rand(4, (8, 64), 0, 1)
+        b = _rand(5, (8, 64), 0, 1)
+        assert np.array_equal(cutlass_gemm(a, b, "int1").output, a @ b.T)
+
+    def test_fp16_rounds_operands(self):
+        a = np.full((4, 4), 1 + 2**-12)
+        b = np.eye(4)
+        res = cutlass_gemm(a, b, "fp16")
+        assert np.allclose(np.diag(res.output), 1.0)
+
+    def test_fp32(self):
+        a = np.random.default_rng(6).normal(size=(4, 8))
+        b = np.random.default_rng(7).normal(size=(5, 8))
+        res = cutlass_gemm(a, b, "fp32")
+        np.testing.assert_allclose(res.output, a.astype(np.float32) @ b.astype(np.float32).T, rtol=1e-6)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            cutlass_gemm(np.zeros((2, 2)), np.zeros((2, 2)), "int2")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cutlass_gemm(np.zeros((2, 3)), np.zeros((2, 4)), "int8")
+
+    def test_cost_families(self):
+        a = _rand(8, (64, 128), -8, 7)
+        res = cutlass_gemm(a, a, "int4")
+        assert res.cost.efficiency_key == "cutlass_int4"
+        assert res.cost.compute_class == "int4"
+        assert res.cost.counters.kernel_launches == 1
+
+    def test_large_tile_grid_small_problem(self):
+        """The underutilization mechanism: batch-64 GEMM -> few blocks."""
+        a = _rand(9, (64, 128), -8, 7)
+        b = _rand(10, (1024, 128), -8, 7)
+        res = cutlass_gemm(a, b, "int4")
+        assert res.cost.counters.blocks == 1 * 8  # 128x128 tiles
+
+
+class TestCutlassConv:
+    def test_conv_matches_direct(self):
+        rng = np.random.default_rng(11)
+        w = rng.integers(-8, 8, size=(4, 3, 3, 3))
+        x = rng.integers(-8, 8, size=(2, 3, 6, 6))
+        res = cutlass_conv(w, x, "int4", stride=1, padding=1)
+        from scipy.signal import correlate
+
+        ref = np.zeros((2, 4, 6, 6), dtype=np.int64)
+        xpad = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for n in range(2):
+            for co in range(4):
+                acc = np.zeros((6, 6))
+                for ci in range(3):
+                    acc += correlate(xpad[n, ci], w[co, ci], mode="valid")
+                ref[n, co] = acc
+        assert np.array_equal(res.output, ref)
+
+    def test_rect_kernel_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            cutlass_conv(
+                np.zeros((2, 1, 3, 5)), np.zeros((1, 1, 8, 8)), "int8"
+            )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            cutlass_conv(np.zeros((2, 2, 3, 3)), np.zeros((1, 3, 8, 8)), "int8")
+
+
+class TestCublas:
+    def test_int8_exact(self):
+        a = _rand(12, (8, 16), -128, 127)
+        b = _rand(13, (8, 16), -128, 127)
+        assert np.array_equal(cublas_gemm(a, b, "int8").output, a @ b.T)
+
+    def test_int8_range_checked(self):
+        with pytest.raises(ValueError, match="int8"):
+            cublas_gemm(np.full((2, 2), 200), np.zeros((2, 2)), "int8")
+
+    def test_fp32(self):
+        a = np.random.default_rng(14).normal(size=(3, 5))
+        res = cublas_gemm(a, a, "fp32")
+        np.testing.assert_allclose(res.output, a @ a.T, rtol=1e-5)
+
+    def test_only_paper_precisions(self):
+        with pytest.raises(ValueError, match="supports"):
+            cublas_gemm(np.zeros((2, 2)), np.zeros((2, 2)), "int4")
+
+    def test_efficiency_family(self):
+        a = _rand(15, (16, 16), -128, 127)
+        assert cublas_gemm(a, a, "int8").cost.efficiency_key == "cublas_int8"
+
+
+class TestBNN:
+    def test_gemm_bipolar_semantics(self):
+        rng = np.random.default_rng(16)
+        wd = rng.integers(0, 2, size=(8, 64))
+        xd = rng.integers(0, 2, size=(8, 64))
+        res = bnn_gemm(wd, xd)
+        ref = (2 * wd - 1) @ (2 * xd - 1).T
+        assert np.array_equal(res.output, ref)
+
+    def test_gemm_strategies_agree(self):
+        rng = np.random.default_rng(17)
+        wd = rng.integers(0, 2, size=(8, 100))
+        xd = rng.integers(0, 2, size=(12, 100))
+        a = bnn_gemm(wd, xd, strategy="integer")
+        b = bnn_gemm(wd, xd, strategy="bitserial")
+        assert np.array_equal(a.output, b.output)
+
+    def test_conv_padding_correction(self):
+        rng = np.random.default_rng(18)
+        wd = rng.integers(0, 2, size=(3, 2, 3, 3))
+        xd = rng.integers(0, 2, size=(1, 2, 5, 5))
+        res = bnn_conv(wd, xd, padding=1)
+        wv, xv = BIPOLAR1.decode(wd), BIPOLAR1.decode(xd)
+        from scipy.signal import correlate
+
+        xpad = np.pad(xv, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((1, 3, 5, 5), dtype=np.int64)
+        for co in range(3):
+            acc = np.zeros((5, 5))
+            for ci in range(2):
+                acc += correlate(xpad[0, ci], wv[co, ci], mode="valid")
+            ref[0, co] = acc
+        assert np.array_equal(res.output, ref)
+
+    def test_small_tiles_and_no_double_caching(self):
+        rng = np.random.default_rng(19)
+        wd = rng.integers(0, 2, size=(64, 256))
+        xd = rng.integers(0, 2, size=(64, 256))
+        res = bnn_gemm(wd, xd)
+        assert res.cost.efficiency_key == "bnn"
+        assert res.cost.counters.smem_bytes == 0  # per-warp global loads
+
+    def test_apmm_w1a1_beats_bnn(self):
+        """Figure 12's kernel-level-optimization gain (~1.35x family)."""
+        rng = np.random.default_rng(20)
+        wd = rng.integers(0, 2, size=(512, 512))
+        xd = rng.integers(0, 2, size=(64, 512))
+        bnn_res = bnn_gemm(wd, xd)
+        ap = apmm(wd, xd, BIPOLAR1, BIPOLAR1)
+        assert np.array_equal(ap.output, bnn_res.output)
+        model = LatencyModel(RTX3090)
+        assert model.latency_us(ap.cost) < model.latency_us(bnn_res.cost)
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            bnn_gemm(np.zeros((2, 2), dtype=np.int64),
+                     np.zeros((2, 2), dtype=np.int64), strategy="magic")

@@ -1,0 +1,106 @@
+"""Tests for data-adaptive operator selection (paper section 3.2)."""
+
+import pytest
+
+from repro.core import Encoding, Precision, TCOp, classify, select_operator
+from repro.core.opselect import EmulationCase
+
+
+def prec(bits, enc):
+    return Precision(bits, enc)
+
+
+U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
+
+
+class TestClassification:
+    def test_case_i_both_unsigned(self):
+        assert classify(prec(2, U), prec(3, U)) is EmulationCase.CASE_I
+
+    def test_case_ii_both_bipolar(self):
+        assert classify(prec(1, B), prec(1, B)) is EmulationCase.CASE_II
+
+    def test_case_iii_bipolar_weight(self):
+        assert classify(prec(1, B), prec(2, U)) is EmulationCase.CASE_III
+
+    def test_case_iv_bipolar_feature(self):
+        assert classify(prec(2, U), prec(1, B)) is EmulationCase.CASE_IV
+
+    def test_bits_do_not_affect_case(self):
+        for wb in (1, 3, 8):
+            for xb in (1, 2, 5):
+                assert classify(prec(wb, B), prec(xb, U)) is EmulationCase.CASE_III
+
+
+class TestOperatorChoice:
+    def test_case_i_uses_and(self):
+        assert select_operator(prec(1, U), prec(1, U)).op is TCOp.AND
+
+    def test_case_ii_uses_xor(self):
+        assert select_operator(prec(1, B), prec(1, B)).op is TCOp.XOR
+
+    def test_case_iii_uses_and(self):
+        """Paper: naive XOR/AND fails for {-1,1} x {0,1}; transform + AND."""
+        assert select_operator(prec(1, B), prec(2, U)).op is TCOp.AND
+
+    def test_case_iv_uses_and(self):
+        assert select_operator(prec(2, U), prec(1, B)).op is TCOp.AND
+
+
+class TestCorrectionCoefficients:
+    def test_case_i_no_correction(self):
+        plan = select_operator(prec(1, U), prec(1, U))
+        assert (plan.popc_scale, plan.wsum_scale, plan.xsum_scale, plan.k_scale) == (
+            1, 0, 0, 0,
+        )
+        assert not plan.needs_row_sums and not plan.needs_col_sums
+
+    def test_case_ii_k_minus_2p(self):
+        plan = select_operator(prec(1, B), prec(1, B))
+        assert (plan.popc_scale, plan.k_scale) == (-2, 1)
+
+    def test_case_iii_coefficients(self):
+        # WX = 2 * popc(and(W_hat, X)) - rowsum(X): the paper's 2*W_hat*X - J*X
+        plan = select_operator(prec(1, B), prec(4, U))
+        assert plan.popc_scale == 2
+        assert plan.xsum_scale == -1
+        assert plan.wsum_scale == 0
+        assert plan.needs_col_sums and not plan.needs_row_sums
+
+    def test_case_iv_coefficients(self):
+        plan = select_operator(prec(4, U), prec(1, B))
+        assert plan.popc_scale == 2
+        assert plan.wsum_scale == -1
+        assert plan.needs_row_sums and not plan.needs_col_sums
+
+
+class TestPaperWorkedExamples:
+    """The three concrete vector examples in section 3.2 of the paper."""
+
+    def _dot(self, w_digits, x_digits, wp, xp):
+        import numpy as np
+
+        from repro.core import apbit_matmul
+
+        w = np.array([w_digits])
+        x = np.array([x_digits])
+        return int(apbit_matmul(w, x, wp, xp)[0, 0])
+
+    def test_case_i_example(self):
+        # W = [0, 1], X = [1, 1] -> popc(AND) = 1
+        assert self._dot([0, 1], [1, 1], prec(1, U), prec(1, U)) == 1
+
+    def test_case_ii_example(self):
+        # W = [-1, 1] (digits [0,1]), X = [1, 1] -> n - 2*popc(XOR) = 0
+        assert self._dot([0, 1], [1, 1], prec(1, B), prec(1, B)) == 0
+
+    def test_case_iii_example(self):
+        # W = [-1, 1] (digits [0,1]), X = [1, 0] -> 2*W_hat*X - J*X = -1
+        assert self._dot([0, 1], [1, 0], prec(1, B), prec(1, U)) == -1
+
+
+class TestPlanImmutability:
+    def test_frozen(self):
+        plan = select_operator(prec(1, U), prec(1, U))
+        with pytest.raises(AttributeError):
+            plan.popc_scale = 5  # type: ignore[misc]

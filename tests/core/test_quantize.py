@@ -1,0 +1,195 @@
+"""Tests for quantizers (AffineQuantizer, QEM, DoReFa, binarize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AffineQuantizer,
+    Encoding,
+    Precision,
+    QEMQuantizer,
+    binarize,
+    dorefa_quantize_activations,
+    dorefa_quantize_weights,
+)
+
+
+class TestAffineQuantizer:
+    def test_floor_semantics(self):
+        q = AffineQuantizer(bits=2, scale=1.0, zero_point=0.0)
+        assert np.array_equal(q.quantize(np.array([0.0, 0.9, 1.0, 2.7])), [0, 0, 1, 2])
+
+    def test_clamps_to_range(self):
+        q = AffineQuantizer(bits=2, scale=1.0)
+        assert np.array_equal(q.quantize(np.array([-5.0, 100.0])), [0, 3])
+
+    def test_zero_point_shift(self):
+        q = AffineQuantizer(bits=3, scale=0.5, zero_point=-1.0)
+        assert q.quantize(np.array([-1.0]))[0] == 0
+        assert q.quantize(np.array([0.0]))[0] == 2
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer(bits=2, scale=0.0)
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer(bits=0, scale=1.0)
+
+    def test_from_range_covers_endpoints(self):
+        q = AffineQuantizer.from_range(-1.0, 1.0, 2)
+        assert q.quantize(np.array([-1.0]))[0] == 0
+        assert q.quantize(np.array([1.0]))[0] == 3
+
+    def test_from_range_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer.from_range(1.0, 1.0, 2)
+
+    def test_from_data_handles_constant(self):
+        q = AffineQuantizer.from_data(np.zeros(5), 4)
+        assert q.quantize(np.zeros(5)).max() <= 15
+
+    def test_precision_property(self):
+        q = AffineQuantizer(bits=4, scale=1.0)
+        assert q.precision == Precision(4, Encoding.UNSIGNED)
+
+    @given(st.integers(1, 8), st.integers(0, 10**6))
+    def test_quantize_dequantize_error_bounded(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=100)
+        q = AffineQuantizer.from_data(x, bits)
+        err = np.abs(q.dequantize(q.quantize(x)) - x)
+        assert err.max() <= q.scale + 1e-9  # floor error < one step
+
+
+class TestBinarize:
+    def test_signs(self):
+        qt = binarize(np.array([-2.0, -0.1, 0.0, 3.0]))
+        assert np.array_equal(qt.digits, [0, 0, 1, 1])
+
+    def test_scale_is_mean_abs(self):
+        qt = binarize(np.array([-2.0, 4.0]))
+        assert qt.scale == pytest.approx(3.0)
+
+    def test_precision_is_bipolar_1bit(self):
+        qt = binarize(np.array([1.0]))
+        assert qt.precision == Precision(1, Encoding.BIPOLAR)
+
+    def test_dequantize_values(self):
+        qt = binarize(np.array([-2.0, 4.0]))
+        assert np.array_equal(qt.dequantize(), [-3.0, 3.0])
+
+    def test_all_zero_input(self):
+        qt = binarize(np.zeros(4))
+        assert qt.scale == 1.0
+        assert np.array_equal(qt.digits, np.ones(4))
+
+    def test_empty_input(self):
+        qt = binarize(np.array([]))
+        assert qt.digits.size == 0
+
+
+class TestQEM:
+    def test_exact_grid_is_zero_error(self):
+        """Data already on a bipolar grid must quantize losslessly."""
+        prec = Precision(2, Encoding.BIPOLAR)
+        x = 0.5 * np.array([-3.0, -1.0, 1.0, 3.0, 1.0, -1.0])
+        q = QEMQuantizer(prec)
+        qt = q.fit(x)
+        assert qt.scale == pytest.approx(0.5, rel=1e-6)
+        np.testing.assert_allclose(qt.dequantize(), x, atol=1e-9)
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2000)
+        errs = [
+            QEMQuantizer(Precision(b, Encoding.BIPOLAR)).error(x) for b in (1, 2, 3, 4)
+        ]
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < errs[0] / 5
+
+    def test_qem_beats_naive_maxabs_scale(self):
+        """The QEM alternation must not be worse than the max-|x| init."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_t(df=3, size=3000)  # heavy tails punish max-scaling
+        prec = Precision(2, Encoding.BIPOLAR)
+        qt = QEMQuantizer(prec).fit(x)
+        naive_scale = np.max(np.abs(x)) / prec.max_value
+        q = QEMQuantizer(prec)
+        naive_digits = q._project(x / naive_scale)
+        naive_err = np.mean((x - naive_scale * prec.decode(naive_digits)) ** 2)
+        fit_err = np.mean((x - qt.dequantize()) ** 2)
+        assert fit_err <= naive_err + 1e-12
+
+    def test_unsigned_grid(self):
+        x = np.array([0.0, 0.26, 0.52, 0.74])
+        qt = QEMQuantizer(Precision(2, Encoding.UNSIGNED)).fit(x)
+        assert qt.digits.min() >= 0 and qt.digits.max() <= 3
+        assert np.mean((qt.dequantize() - x) ** 2) < 0.01
+
+    def test_empty_input(self):
+        qt = QEMQuantizer(Precision(2)).fit(np.array([]))
+        assert qt.digits.size == 0
+
+    def test_all_zero_input(self):
+        qt = QEMQuantizer(Precision(2)).fit(np.zeros(8))
+        np.testing.assert_allclose(qt.dequantize(), 0.0)
+
+    def test_iters_validation(self):
+        with pytest.raises(ValueError):
+            QEMQuantizer(Precision(2), iters=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 4), st.booleans())
+    def test_digits_always_in_range(self, seed, bits, bipolar):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=64) * rng.uniform(0.01, 100)
+        prec = Precision(bits, Encoding.BIPOLAR if bipolar else Encoding.UNSIGNED)
+        qt = QEMQuantizer(prec).fit(x)
+        assert qt.digits.min() >= 0
+        assert qt.digits.max() < prec.num_levels
+
+
+class TestDoReFa:
+    def test_weight_1bit_is_binarize(self):
+        w = np.array([-1.0, 2.0, -3.0])
+        qt = dorefa_quantize_weights(w, 1)
+        assert qt.precision == Precision(1, Encoding.BIPOLAR)
+        assert np.array_equal(qt.digits, [0, 1, 0])
+
+    def test_weight_multibit_bounded(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=100)
+        qt = dorefa_quantize_weights(w, 2)
+        deq = qt.dequantize()
+        assert deq.min() >= -1.0 - 1e-9 and deq.max() <= 1.0 + 1e-9
+
+    def test_weight_bits_validated(self):
+        with pytest.raises(ValueError):
+            dorefa_quantize_weights(np.ones(2), 0)
+
+    def test_activation_clip_range(self):
+        qt = dorefa_quantize_activations(np.array([-1.0, 0.5, 2.0]), 2)
+        assert np.array_equal(qt.digits, [0, 2, 3])
+
+    def test_activation_reconstruction(self):
+        x = np.linspace(0, 1, 9)
+        qt = dorefa_quantize_activations(x, 3)
+        assert np.abs(qt.dequantize() - x).max() <= 0.5 / 7 + 1e-12
+
+    def test_activation_bits_validated(self):
+        with pytest.raises(ValueError):
+            dorefa_quantize_activations(np.ones(2), -1)
+
+    def test_w1a2_digits_feed_emulation(self):
+        """End-to-end: DoReFa w1a2 digits are valid emulation inputs."""
+        from repro.core import apbit_matmul, reference_matmul
+
+        rng = np.random.default_rng(2)
+        wq = dorefa_quantize_weights(rng.normal(size=(4, 32)), 1)
+        xq = dorefa_quantize_activations(rng.uniform(size=(6, 32)), 2)
+        got = apbit_matmul(wq.digits, xq.digits, wq.precision, xq.precision)
+        ref = reference_matmul(wq.digits, xq.digits, wq.precision, xq.precision)
+        assert np.array_equal(got, ref)

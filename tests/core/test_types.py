@@ -1,0 +1,149 @@
+"""Tests for repro.core.types: Precision, Encoding, PrecisionPair."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Encoding, Precision, PrecisionPair
+from repro.core.types import MAX_BITS
+
+
+class TestPrecisionConstruction:
+    def test_valid_bits_range(self):
+        for b in (1, 4, 8, MAX_BITS):
+            assert Precision(b).bits == b
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError, match="bits"):
+            Precision(0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Precision(-3)
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Precision(MAX_BITS + 1)
+
+    def test_non_int_bits_rejected(self):
+        with pytest.raises(TypeError):
+            Precision(2.5)  # type: ignore[arg-type]
+
+    def test_non_encoding_rejected(self):
+        with pytest.raises(TypeError):
+            Precision(2, "unsigned")  # type: ignore[arg-type]
+
+    def test_default_encoding_is_unsigned(self):
+        assert Precision(3).encoding is Encoding.UNSIGNED
+
+    def test_frozen(self):
+        p = Precision(2)
+        with pytest.raises(AttributeError):
+            p.bits = 3  # type: ignore[misc]
+
+    def test_hashable_and_eq(self):
+        assert Precision(2) == Precision(2)
+        assert Precision(2) != Precision(2, Encoding.BIPOLAR)
+        assert len({Precision(2), Precision(2), Precision(3)}) == 2
+
+
+class TestPrecisionRanges:
+    def test_unsigned_range(self):
+        p = Precision(3)
+        assert p.min_value == 0
+        assert p.max_value == 7
+        assert p.num_levels == 8
+
+    def test_bipolar_1bit_range(self):
+        p = Precision(1, Encoding.BIPOLAR)
+        assert (p.min_value, p.max_value) == (-1, 1)
+
+    def test_bipolar_2bit_range(self):
+        p = Precision(2, Encoding.BIPOLAR)
+        # planes contribute +-1 and +-2: range [-3, 3]
+        assert (p.min_value, p.max_value) == (-3, 3)
+
+    @given(st.integers(1, 8))
+    def test_bipolar_range_symmetric(self, bits):
+        p = Precision(bits, Encoding.BIPOLAR)
+        assert p.min_value == -p.max_value
+
+
+class TestDecodeEncode:
+    def test_unsigned_decode_identity(self):
+        p = Precision(4)
+        digits = np.arange(16)
+        assert np.array_equal(p.decode(digits), digits)
+
+    def test_bipolar_1bit_decode(self):
+        p = Precision(1, Encoding.BIPOLAR)
+        assert np.array_equal(p.decode(np.array([0, 1])), np.array([-1, 1]))
+
+    def test_bipolar_2bit_decode_values(self):
+        p = Precision(2, Encoding.BIPOLAR)
+        # digits 0..3 -> 2d - 3 = -3, -1, 1, 3
+        assert np.array_equal(p.decode(np.arange(4)), np.array([-3, -1, 1, 3]))
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Precision(2).decode(np.array([4]))
+
+    def test_decode_rejects_negative_digits(self):
+        with pytest.raises(ValueError):
+            Precision(2).decode(np.array([-1]))
+
+    @given(st.integers(1, 8), st.booleans(), st.integers(0, 10**6))
+    def test_encode_decode_roundtrip(self, bits, bipolar, seed):
+        enc = Encoding.BIPOLAR if bipolar else Encoding.UNSIGNED
+        p = Precision(bits, enc)
+        rng = np.random.default_rng(seed)
+        digits = p.random_digits(rng, (5, 7))
+        assert np.array_equal(p.encode(p.decode(digits)), digits)
+
+    def test_encode_rejects_wrong_parity_bipolar(self):
+        p = Precision(1, Encoding.BIPOLAR)
+        with pytest.raises(ValueError, match="parity"):
+            p.encode(np.array([0]))  # bipolar 1-bit can only hold -1/+1
+
+    def test_encode_rejects_unrepresentable(self):
+        with pytest.raises(ValueError):
+            Precision(2).encode(np.array([9]))
+
+    def test_random_digits_in_range(self):
+        p = Precision(3)
+        rng = np.random.default_rng(1)
+        d = p.random_digits(rng, (100,))
+        assert d.min() >= 0 and d.max() < 8
+
+
+class TestPrecisionPair:
+    def test_parse_w1a2(self):
+        pair = PrecisionPair.parse("w1a2")
+        assert pair.weight.bits == 1
+        assert pair.weight.encoding is Encoding.BIPOLAR
+        assert pair.activation.bits == 2
+        assert pair.activation.encoding is Encoding.UNSIGNED
+
+    def test_parse_multi_digit(self):
+        pair = PrecisionPair.parse("w2a8")
+        assert (pair.weight.bits, pair.activation.bits) == (2, 8)
+
+    def test_parse_case_and_whitespace(self):
+        assert PrecisionPair.parse("  W1A4 ").name == "w1a4"
+
+    @pytest.mark.parametrize("bad", ["", "1a2", "wXa2", "w1", "w1b2", "a2w1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            PrecisionPair.parse(bad)
+
+    def test_name_roundtrip(self):
+        for name in ["w1a2", "w1a3", "w1a4", "w2a2", "w5a1", "w1a8", "w6a2", "w2a8"]:
+            assert PrecisionPair.parse(name).name == name
+
+    def test_plane_product(self):
+        assert PrecisionPair.parse("w2a8").plane_product == 16
+        assert PrecisionPair.parse("w1a1").plane_product == 1
+
+    def test_str(self):
+        assert str(PrecisionPair.parse("w1a2")) == "w1a2"

@@ -1,0 +1,181 @@
+"""Tests for APConv: correctness vs direct convolution, padding, cost."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineQuantizer, Encoding, Precision
+from repro.kernels import TileConfig, apconv
+
+U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
+
+
+def _direct_conv(wv, xv, stride, padding):
+    """Zero-VALUE padded correlation reference."""
+    n, cin, h, w = xv.shape
+    cout, _, kh, kw = wv.shape
+    xp = np.pad(xv, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, cout, oh, ow), dtype=np.int64)
+    for b in range(n):
+        for co in range(cout):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride: i * stride + kh,
+                               j * stride: j * stride + kw]
+                    out[b, co, i, j] = np.sum(patch * wv[co])
+    return out
+
+
+def _rand_conv(seed, wp, xp, cout=4, cin=3, k=3, n=2, h=6, w=6):
+    rng = np.random.default_rng(seed)
+    return (
+        wp.random_digits(rng, (cout, cin, k, k)),
+        xp.random_digits(rng, (n, cin, h, w)),
+    )
+
+
+ENCODINGS = [
+    (Precision(1, B), Precision(2, U)),
+    (Precision(1, B), Precision(1, B)),
+    (Precision(2, U), Precision(2, U)),
+    (Precision(2, U), Precision(1, B)),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("wp,xp", ENCODINGS)
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_direct_conv(self, wp, xp, stride, padding):
+        W, X = _rand_conv(0, wp, xp)
+        res = apconv(W, X, wp, xp, stride=stride, padding=padding)
+        ref = _direct_conv(wp.decode(W), xp.decode(X), stride, padding)
+        assert np.array_equal(res.output, ref)
+
+    @pytest.mark.parametrize("wp,xp", ENCODINGS)
+    def test_bitserial_equals_integer(self, wp, xp):
+        W, X = _rand_conv(1, wp, xp)
+        a = apconv(W, X, wp, xp, padding=1, strategy="integer")
+        b = apconv(W, X, wp, xp, padding=1, strategy="bitserial")
+        assert np.array_equal(a.output, b.output)
+
+    def test_kernel1x1(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(2, wp, xp, k=1)
+        res = apconv(W, X, wp, xp)
+        assert np.array_equal(
+            res.output, _direct_conv(wp.decode(W), xp.decode(X), 1, 0)
+        )
+
+    def test_large_stride_alexnet_style(self):
+        wp, xp = Precision(1, B), Precision(8, U)
+        rng = np.random.default_rng(3)
+        W = wp.random_digits(rng, (2, 3, 11, 11))
+        X = xp.random_digits(rng, (1, 3, 32, 32))
+        res = apconv(W, X, wp, xp, stride=4, padding=2)
+        ref = _direct_conv(wp.decode(W), xp.decode(X), 4, 2)
+        assert np.array_equal(res.output, ref)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        padding=st.integers(0, 2),
+        stride=st.integers(1, 2),
+    )
+    def test_property_bipolar_bipolar_padding(self, seed, padding, stride):
+        """The counter-corrected Case-II path is exact for any geometry."""
+        wp = xp = Precision(1, B)
+        W, X = _rand_conv(seed, wp, xp, h=7, w=5)
+        res = apconv(W, X, wp, xp, stride=stride, padding=padding)
+        ref = _direct_conv(wp.decode(W), xp.decode(X), stride, padding)
+        assert np.array_equal(res.output, ref)
+
+
+class TestValidation:
+    def test_weight_rank(self):
+        with pytest.raises(ValueError, match="C_out"):
+            apconv(
+                np.zeros((2, 3, 3), dtype=np.int64),
+                np.zeros((1, 3, 4, 4), dtype=np.int64),
+                Precision(1), Precision(1),
+            )
+
+    def test_feature_rank(self):
+        with pytest.raises(ValueError, match="features"):
+            apconv(
+                np.zeros((2, 3, 3, 3), dtype=np.int64),
+                np.zeros((3, 4, 4), dtype=np.int64),
+                Precision(1), Precision(1),
+            )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            apconv(
+                np.zeros((2, 3, 3, 3), dtype=np.int64),
+                np.zeros((1, 4, 5, 5), dtype=np.int64),
+                Precision(1), Precision(1),
+            )
+
+    def test_rect_kernel_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            apconv(
+                np.zeros((2, 3, 3, 5), dtype=np.int64),
+                np.zeros((1, 3, 6, 6), dtype=np.int64),
+                Precision(1), Precision(1),
+            )
+
+
+class TestQuantizedOutput:
+    def test_digits_out(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(4, wp, xp)
+        q = AffineQuantizer(bits=2, scale=8.0, zero_point=-16.0)
+        res = apconv(W, X, wp, xp, out_quantizer=q)
+        assert res.out_precision == Precision(2, U)
+        assert res.output.max() <= 3 and res.output.min() >= 0
+
+    def test_write_traffic_shrinks(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(5, wp, xp, cout=8, h=8, w=8)
+        q = AffineQuantizer(bits=2, scale=8.0)
+        a = apconv(W, X, wp, xp)
+        b = apconv(W, X, wp, xp, out_quantizer=q)
+        assert (
+            b.cost.counters.global_bytes_written
+            < a.cost.counters.global_bytes_written
+        )
+
+
+class TestCostShape:
+    def test_channel_major_reduces_reads(self):
+        """The NPHWC layout motivation: naive NCHW reads ~4x the bytes."""
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(6, wp, xp, cout=16, cin=8, h=8, w=8)
+        cfg = TileConfig(16, 16)
+        good = apconv(W, X, wp, xp, config=cfg, channel_major=True)
+        bad = apconv(W, X, wp, xp, config=cfg, channel_major=False)
+        assert (
+            bad.cost.counters.global_bytes_read
+            == 4 * good.cost.counters.global_bytes_read
+        )
+
+    def test_padding_plan_attached(self):
+        wp, xp = Precision(1, B), Precision(1, B)
+        W, X = _rand_conv(7, wp, xp)
+        res = apconv(W, X, wp, xp, padding=1)
+        assert res.padding_plan.needs_correction
+
+    def test_implicit_gemm_block_count(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(8, wp, xp, cout=16, cin=2, n=1, h=9, w=9, k=3)
+        # M = 16 (p=1), N_gemm = 49 (q=2 -> 98), tiles of 16x16
+        res = apconv(W, X, wp, xp, config=TileConfig(16, 16))
+        assert res.cost.counters.blocks == 1 * 7
+
+    def test_autotune_used_by_default(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(9, wp, xp)
+        res = apconv(W, X, wp, xp)
+        assert res.tune is not None

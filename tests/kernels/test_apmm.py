@@ -1,0 +1,176 @@
+"""Tests for the APMM kernel: strategies, quantized output, cost shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineQuantizer, Encoding, Precision, PrecisionPair
+from repro.kernels import TileConfig, apmm
+from repro.tensorcore import A100, RTX3090
+
+U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
+
+
+def _operands(seed, m, n, k, pair):
+    rng = np.random.default_rng(seed)
+    return (
+        pair.weight.random_digits(rng, (m, k)),
+        pair.activation.random_digits(rng, (n, k)),
+    )
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("name", ["w1a1", "w1a2", "w2a2", "w1a4", "w2a8"])
+    def test_integer_equals_bitserial(self, name):
+        pair = PrecisionPair.parse(name)
+        W, X = _operands(0, 40, 24, 200, pair)
+        a = apmm(W, X, pair.weight, pair.activation, strategy="integer")
+        b = apmm(W, X, pair.weight, pair.activation, strategy="bitserial")
+        assert np.array_equal(a.output, b.output)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        m=st.integers(1, 30),
+        n=st.integers(1, 30),
+        k=st.integers(1, 100),
+        wbits=st.integers(1, 3),
+        xbits=st.integers(1, 3),
+    )
+    def test_property_strategy_equivalence(self, seed, m, n, k, wbits, xbits):
+        wp, xp = Precision(wbits, B), Precision(xbits, U)
+        rng = np.random.default_rng(seed)
+        W, X = wp.random_digits(rng, (m, k)), xp.random_digits(rng, (n, k))
+        a = apmm(W, X, wp, xp, strategy="integer")
+        b = apmm(W, X, wp, xp, strategy="bitserial")
+        assert np.array_equal(a.output, b.output)
+
+    def test_unknown_strategy(self):
+        W = np.zeros((8, 8), dtype=np.int64)
+        with pytest.raises(ValueError, match="strategy"):
+            apmm(W, W, Precision(1), Precision(1), strategy="cuda")
+
+
+class TestValidation:
+    def test_k_mismatch(self):
+        with pytest.raises(ValueError, match="K mismatch"):
+            apmm(
+                np.zeros((4, 8), dtype=np.int64),
+                np.zeros((4, 9), dtype=np.int64),
+                Precision(1),
+                Precision(1),
+            )
+
+    def test_rank(self):
+        with pytest.raises(ValueError, match="2-D"):
+            apmm(
+                np.zeros((4, 8, 1), dtype=np.int64),
+                np.zeros((4, 8), dtype=np.int64),
+                Precision(1),
+                Precision(1),
+            )
+
+
+class TestQuantizedOutput:
+    def test_out_quantizer_produces_digits(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(1, 16, 16, 64, pair)
+        q = AffineQuantizer(bits=2, scale=16.0, zero_point=-32.0)
+        res = apmm(W, X, pair.weight, pair.activation, out_quantizer=q)
+        assert res.out_precision == Precision(2, U)
+        assert res.output.min() >= 0 and res.output.max() <= 3
+
+    def test_quantized_output_shrinks_write_traffic(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(2, 64, 64, 128, pair)
+        q = AffineQuantizer(bits=2, scale=8.0)
+        full = apmm(W, X, pair.weight, pair.activation)
+        quant = apmm(W, X, pair.weight, pair.activation, out_quantizer=q)
+        assert (
+            quant.cost.counters.global_bytes_written
+            < full.cost.counters.global_bytes_written
+        )
+        # 2-bit output: 16x smaller than int32
+        assert full.cost.counters.global_bytes_written == 64 * 64 * 4
+        assert quant.cost.counters.global_bytes_written == 64 * 64 * 2 // 8
+
+
+class TestAutotuneIntegration:
+    def test_autotunes_when_config_omitted(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(3, 64, 64, 128, pair)
+        res = apmm(W, X, pair.weight, pair.activation)
+        assert res.tune is not None
+        assert res.config == res.tune.config
+
+    def test_explicit_config_respected(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(4, 64, 64, 128, pair)
+        cfg = TileConfig(32, 32)
+        res = apmm(W, X, pair.weight, pair.activation, config=cfg)
+        assert res.config == cfg
+        assert res.tune is None
+
+    def test_device_affects_tuning_feasibility(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(5, 256, 256, 128, pair)
+        res = apmm(W, X, pair.weight, pair.activation, device=A100)
+        assert res.cost.counters.blocks >= 1
+
+
+class TestCostShape:
+    def test_batched_single_launch(self):
+        pair = PrecisionPair.parse("w2a8")
+        W, X = _operands(6, 32, 32, 128, pair)
+        res = apmm(W, X, pair.weight, pair.activation)
+        assert res.cost.counters.kernel_launches == 1
+
+    def test_unbatched_ablation_launches_pq_kernels(self):
+        pair = PrecisionPair.parse("w2a8")
+        W, X = _operands(7, 32, 32, 128, pair)
+        res = apmm(W, X, pair.weight, pair.activation, batch_planes=False,
+                   config=TileConfig(16, 16))
+        assert res.cost.counters.kernel_launches == 16
+
+    def test_unbatched_ablation_moves_more_dram_bytes(self):
+        pair = PrecisionPair.parse("w2a2")
+        W, X = _operands(8, 64, 64, 256, pair)
+        cfg = TileConfig(16, 16)
+        batched = apmm(W, X, pair.weight, pair.activation, config=cfg)
+        naive = apmm(W, X, pair.weight, pair.activation, config=cfg,
+                     batch_planes=False)
+        assert (
+            naive.cost.counters.global_bytes
+            > batched.cost.counters.global_bytes
+        )
+
+    def test_double_caching_reduces_global_reads(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(9, 64, 64, 256, pair)
+        cfg = TileConfig(64, 64)
+        cached = apmm(W, X, pair.weight, pair.activation, config=cfg)
+        uncached = apmm(W, X, pair.weight, pair.activation, config=cfg,
+                        double_caching=False)
+        assert (
+            uncached.cost.counters.global_bytes_read
+            > cached.cost.counters.global_bytes_read
+        )
+        assert uncached.cost.counters.smem_bytes == 0
+
+    def test_tc_macs_scale_with_plane_product(self):
+        w1a1 = PrecisionPair.parse("w1a1")
+        w2a2 = PrecisionPair.parse("w2a2")
+        cfg = TileConfig(16, 16)
+        W1, X1 = _operands(10, 16, 16, 128, w1a1)
+        W2, X2 = _operands(10, 16, 16, 128, w2a2)
+        r1 = apmm(W1, X1, w1a1.weight, w1a1.activation, config=cfg)
+        r2 = apmm(W2, X2, w2a2.weight, w2a2.activation, config=cfg)
+        assert r2.cost.counters.tc_macs == 4 * r1.cost.counters.tc_macs
+
+    def test_results_fit_int32(self):
+        pair = PrecisionPair.parse("w2a8")
+        W, X = _operands(11, 8, 8, 1024, pair)
+        res = apmm(W, X, pair.weight, pair.activation, strategy="bitserial")
+        assert res.output.max() <= 2**31 - 1
+        assert res.output.min() >= -(2**31)

@@ -1,0 +1,101 @@
+"""Tests for ballot-style packed output (paper section 4.1b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineQuantizer, PrecisionPair
+from repro.kernels import apmm, ballot_pack, ballot_unpack, packed_nbytes
+
+
+class TestBallotPack:
+    def test_known_single_word(self):
+        # 32 one-bit digits: lane k votes bit k
+        digits = np.zeros(32, dtype=np.int64)
+        digits[0] = 1
+        digits[31] = 1
+        words = ballot_pack(digits, 1)
+        assert words.shape == (1, 1)
+        assert words[0, 0] == np.uint32(1) | np.uint32(1 << 31)
+
+    def test_two_bit_planes_split(self):
+        digits = np.array([0, 1, 2, 3], dtype=np.int64)
+        words = ballot_pack(digits, 2)
+        assert words.shape == (2, 1)
+        assert words[0, 0] == 0b1010  # LSBs of 0,1,2,3
+        assert words[1, 0] == 0b1100  # MSBs
+
+    def test_partial_warp_padded(self):
+        digits = np.ones(5, dtype=np.int64)
+        words = ballot_pack(digits, 1)
+        assert words[0, 0] == 0b11111
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ballot_pack(np.array([4]), 2)
+        with pytest.raises(ValueError, match="bits"):
+            ballot_pack(np.array([0]), 0)
+
+    def test_rank_and_dtype_validated(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ballot_pack(np.zeros((2, 2), dtype=np.int64), 1)
+        with pytest.raises(TypeError):
+            ballot_pack(np.array([0.5]), 1)
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 200), st.integers(1, 8), st.integers(0, 10**6))
+    def test_roundtrip(self, n, bits, seed):
+        rng = np.random.default_rng(seed)
+        digits = rng.integers(0, 1 << bits, size=n)
+        words = ballot_pack(digits, bits)
+        assert np.array_equal(ballot_unpack(words, n), digits)
+
+    def test_unpack_validates(self):
+        with pytest.raises(ValueError):
+            ballot_unpack(np.zeros((1, 1), dtype=np.uint32), 99)
+        with pytest.raises(ValueError):
+            ballot_unpack(np.zeros(3, dtype=np.uint32), 3)
+
+
+class TestPackedSize:
+    def test_nbytes_formula(self):
+        # 64 elements at 2 bits: 2 words/plane * 2 planes * 4 B = 16 B
+        assert packed_nbytes(64, 2) == 16
+
+    def test_matches_dataflow_accounting(self):
+        """packed bytes == the q*n/8 boundary bytes the cost model charges
+        (up to warp-granularity padding)."""
+        n, bits = 4096, 2
+        assert packed_nbytes(n, bits) == n * bits // 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 2)
+        with pytest.raises(ValueError):
+            packed_nbytes(8, 9)
+
+
+class TestPackedBoundaryChain:
+    def test_two_layer_chain_through_packed_boundary(self):
+        """Producer packs its 2-bit output; consumer unpacks and computes
+        bit-identically to the unpacked chain."""
+        pair = PrecisionPair.parse("w1a2")
+        rng = np.random.default_rng(0)
+        w1 = pair.weight.random_digits(rng, (24, 64))
+        w2 = pair.weight.random_digits(rng, (8, 24))
+        x = pair.activation.random_digits(rng, (16, 64))
+        q = AffineQuantizer(bits=2, scale=20.0, zero_point=-30.0)
+
+        layer1 = apmm(w1, x, pair.weight, pair.activation, out_quantizer=q,
+                      strategy="bitserial")
+        # pack across the boundary, as the fused epilogue would
+        flat = layer1.output.T.reshape(-1)  # activations row-major (N, C)
+        words = ballot_pack(flat, 2)
+        restored = ballot_unpack(words, flat.size).reshape(16, 24)
+
+        direct = apmm(w2, layer1.output.T, pair.weight, pair.activation,
+                      strategy="bitserial")
+        via_packed = apmm(w2, restored, pair.weight, pair.activation,
+                          strategy="bitserial")
+        assert np.array_equal(direct.output, via_packed.output)

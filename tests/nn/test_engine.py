@@ -1,0 +1,177 @@
+"""Tests for the inference engine: backends, fusion effects, Table 2 shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import (
+    APNNBackend,
+    BNNBackend,
+    InferenceEngine,
+    LibraryBackend,
+    alexnet,
+    resnet18,
+    vgg_variant,
+)
+
+W1A2 = PrecisionPair.parse("w1a2")
+
+
+@pytest.fixture(scope="module")
+def small_alexnet():
+    return alexnet(num_classes=100, input_size=224)
+
+
+@pytest.fixture(scope="module")
+def small_resnet():
+    return resnet18(num_classes=100, input_size=224)
+
+
+class TestBackends:
+    def test_backend_names(self):
+        assert APNNBackend(W1A2).name == "APNN-w1a2"
+        assert BNNBackend().name == "BNN"
+        assert LibraryBackend("fp32").name == "CUTLASS-Single"
+        assert LibraryBackend("fp16").name == "CUTLASS-Half-TC"
+        assert LibraryBackend("int8").name == "CUTLASS-INT8-TC"
+
+    def test_library_precision_validated(self):
+        with pytest.raises(ValueError):
+            LibraryBackend("int4")
+
+    def test_bnn_pair_is_w1a1(self):
+        assert BNNBackend().pair.name == "w1a1"
+
+
+class TestEstimate(object):
+    def test_report_structure(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        rep = eng.estimate(8)
+        assert rep.batch == 8
+        assert rep.total_us > 0
+        assert rep.latency_ms == pytest.approx(rep.total_us / 1000)
+        assert rep.throughput_fps == pytest.approx(8 / (rep.total_us * 1e-6))
+        assert len(rep.groups) >= 8
+        assert rep.dataflow is not None
+
+    def test_batch_validated(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        with pytest.raises(ValueError):
+            eng.estimate(0)
+
+    def test_latency_grows_with_batch(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        assert eng.estimate(128).total_us > eng.estimate(8).total_us
+
+    def test_throughput_better_at_large_batch(self, small_alexnet):
+        """Launch overhead amortizes: batch-128 fps > batch-8 fps."""
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        assert eng.estimate(128).throughput_fps > eng.estimate(8).throughput_fps
+
+    def test_resnet_residual_groups_costed(self, small_resnet):
+        eng = InferenceEngine(small_resnet, APNNBackend(W1A2))
+        rep = eng.estimate(8)
+        assert len([g for g in rep.groups if g.kind == "Conv2d"]) == 20
+        assert rep.total_us > 0
+
+    def test_layer_fractions_sum_to_one(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        fracs = eng.estimate(8).layer_fractions()
+        assert sum(f for _, f in fracs) == pytest.approx(1.0)
+
+    def test_first_layer_dominates_apnn_alexnet(self, small_alexnet):
+        """Fig. 9's shape: conv1 is the largest single contributor."""
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        fracs = eng.estimate(8).layer_fractions()
+        assert fracs[0][0] == "conv1"
+        assert fracs[0][1] == max(f for _, f in fracs)
+        assert fracs[0][1] > 0.25
+
+
+class TestBackendOrdering:
+    """Table 2's who-beats-whom shape on every model."""
+
+    @pytest.fixture(scope="class")
+    def latencies(self, small_alexnet):
+        out = {}
+        for backend in (
+            LibraryBackend("fp32"),
+            LibraryBackend("fp16"),
+            LibraryBackend("int8"),
+            BNNBackend(),
+            APNNBackend(W1A2),
+        ):
+            rep = InferenceEngine(small_alexnet, backend).estimate(8)
+            out[backend.name] = rep.latency_ms
+        return out
+
+    def test_apnn_w1a2_fastest(self, latencies):
+        assert latencies["APNN-w1a2"] == min(latencies.values())
+
+    def test_apnn_beats_single_by_over_4x(self, latencies):
+        """Paper: >4x latency reduction vs single precision."""
+        assert latencies["CUTLASS-Single"] / latencies["APNN-w1a2"] > 4
+
+    def test_bnn_second_fastest(self, latencies):
+        rest = {k: v for k, v in latencies.items() if k != "APNN-w1a2"}
+        assert latencies["BNN"] == min(rest.values())
+
+    def test_precision_ordering_for_libraries(self, latencies):
+        assert (
+            latencies["CUTLASS-INT8-TC"]
+            < latencies["CUTLASS-Half-TC"]
+            < latencies["CUTLASS-Single"]
+        )
+
+
+class TestFusionEffect:
+    def test_fusion_reduces_latency(self, small_alexnet):
+        fused = InferenceEngine(small_alexnet, APNNBackend(W1A2), fuse=True)
+        unfused = InferenceEngine(small_alexnet, APNNBackend(W1A2), fuse=False)
+        t_fused = fused.estimate(8).total_us
+        t_unfused = unfused.estimate(8).total_us
+        assert t_unfused > 1.2 * t_fused
+
+    def test_fusion_reduces_launches(self, small_alexnet):
+        fused = InferenceEngine(small_alexnet, APNNBackend(W1A2), fuse=True)
+        unfused = InferenceEngine(small_alexnet, APNNBackend(W1A2), fuse=False)
+        launches_fused = sum(
+            c.counters.kernel_launches
+            for g in fused.estimate(8).groups for c in g.costs
+        )
+        launches_unfused = sum(
+            c.counters.kernel_launches
+            for g in unfused.estimate(8).groups for c in g.costs
+        )
+        assert launches_unfused > launches_fused
+
+
+class TestPrecisionTradeoffs:
+    """Table 3's shape: w1a2 < w2a2 < w2a8 latency; w2a8 ~ int8."""
+
+    @pytest.fixture(scope="class")
+    def vgg(self):
+        return vgg_variant(num_classes=100, input_size=224)
+
+    def test_w1a2_faster_than_w2a2(self, vgg):
+        t = {}
+        for name in ("w1a2", "w2a2", "w2a8"):
+            backend = APNNBackend(PrecisionPair.parse(name))
+            t[name] = InferenceEngine(vgg, backend).estimate(8).total_us
+        assert t["w1a2"] < t["w2a2"] < t["w2a8"]
+
+    def test_w2a8_comparable_to_int8(self, vgg):
+        """The emulation-cost crossover the paper reports in Table 3."""
+        w2a8 = InferenceEngine(
+            vgg, APNNBackend(PrecisionPair.parse("w2a8"))
+        ).estimate(128).throughput_fps
+        int8 = InferenceEngine(
+            vgg, LibraryBackend("int8")
+        ).estimate(128).throughput_fps
+        assert 0.2 < w2a8 / int8 < 2.5
+
+    def test_forward_float_reference(self, vgg):
+        eng = InferenceEngine(vgg, APNNBackend(W1A2))
+        x = np.random.default_rng(0).normal(size=(1, 3, 224, 224)).astype(np.float32)
+        out = eng.forward(x)
+        assert out.shape == (1, 100)

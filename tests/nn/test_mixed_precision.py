@@ -1,0 +1,50 @@
+"""Tests for per-layer mixed precision (HAQ-style, paper section 2.1)."""
+
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend, InferenceEngine, alexnet
+
+
+@pytest.fixture(scope="module")
+def model():
+    return alexnet(num_classes=100, input_size=224)
+
+
+class TestMixedBackend:
+    def test_default_pair_used_without_overrides(self):
+        b = APNNBackend(PrecisionPair.parse("w1a2"))
+        assert b.pair_for("conv3").name == "w1a2"
+
+    def test_override_applies_by_name(self):
+        b = APNNBackend.mixed("w1a2", {"conv1": "w2a8"})
+        assert b.pair_for("conv1").name == "w2a8"
+        assert b.pair_for("conv2").name == "w1a2"
+
+    def test_name_marks_mixed(self):
+        assert APNNBackend.mixed("w1a2", {"fc8": "w4a4"}).name == "APNN-w1a2+mixed"
+        assert APNNBackend(PrecisionPair.parse("w1a2")).name == "APNN-w1a2"
+
+    def test_higher_precision_layer_costs_more(self, model):
+        uniform = InferenceEngine(
+            model, APNNBackend(PrecisionPair.parse("w1a2"))
+        ).estimate(8)
+        mixed = InferenceEngine(
+            model, APNNBackend.mixed("w1a2", {"conv3": "w4a8"})
+        ).estimate(8)
+        u = {g.name: g.total_us for g in uniform.groups}
+        m = {g.name: g.total_us for g in mixed.groups}
+        assert m["conv3"] > 2 * u["conv3"]  # 32 planes vs 2
+        assert m["conv2"] == pytest.approx(u["conv2"])  # untouched layers
+
+    def test_mixed_total_between_uniform_extremes(self, model):
+        low = InferenceEngine(
+            model, APNNBackend(PrecisionPair.parse("w1a2"))
+        ).estimate(8).total_us
+        high = InferenceEngine(
+            model, APNNBackend(PrecisionPair.parse("w2a8"))
+        ).estimate(8).total_us
+        mixed = InferenceEngine(
+            model, APNNBackend.mixed("w1a2", {"conv5": "w2a8", "fc7": "w2a8"})
+        ).estimate(8).total_us
+        assert low < mixed < high

@@ -1,0 +1,201 @@
+"""Tests for the analytical latency model and its paper-anchored shapes."""
+
+import pytest
+
+from repro.kernels import TileConfig, autotune
+from repro.perf import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    KernelCost,
+    LatencyModel,
+    baseline_gemm_cost,
+    conv_gemm_dims,
+    gemm_cost,
+)
+from repro.tensorcore import A100, RTX3090, ExecutionCounters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(RTX3090)
+
+
+def _apmm_cost(m, n, k, p, q, device=RTX3090):
+    cfg = autotune(m, n, p, q, device).config
+    return gemm_cost(m, n, k, p, q, cfg)
+
+
+class TestCalibration:
+    def test_default_is_valid(self):
+        assert 0 < DEFAULT_CALIBRATION.efficiency["apmm"] <= 1
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            Calibration(efficiency={"apmm": 0.5})
+
+    def test_out_of_range_efficiency_rejected(self):
+        eff = dict(DEFAULT_CALIBRATION.efficiency)
+        eff["apmm"] = 1.5
+        with pytest.raises(ValueError):
+            Calibration(efficiency=eff)
+
+    def test_fig12_ratio_built_in(self):
+        """apmm/cutlass_int1 efficiency ratio ~= the paper's 1.35x."""
+        eff = DEFAULT_CALIBRATION.efficiency
+        assert eff["apmm"] / eff["cutlass_int1"] == pytest.approx(1.35, rel=0.05)
+
+    def test_59x_int1_over_int8_built_in(self):
+        """(int1 peak * eff) / (int8 peak * eff) ~= 5.9 (section 6.1.1)."""
+        eff = DEFAULT_CALIBRATION.efficiency
+        ratio = (RTX3090.peak_tops["int1"] * eff["cutlass_int1"]) / (
+            RTX3090.peak_tops["int8"] * eff["cublas_int8"]
+        )
+        assert ratio == pytest.approx(5.9, rel=0.05)
+
+
+class TestModelMechanics:
+    def test_latency_positive_and_has_floor(self, model):
+        cost = _apmm_cost(64, 64, 128, 1, 1)
+        assert model.latency_us(cost) >= RTX3090.launch_overhead_us
+
+    def test_monotonic_in_k(self, model):
+        a = model.latency_us(_apmm_cost(256, 256, 512, 1, 2))
+        b = model.latency_us(_apmm_cost(256, 256, 4096, 1, 2))
+        assert b > a
+
+    def test_monotonic_in_planes(self, model):
+        cfg = TileConfig(64, 64)
+        a = model.latency_us(gemm_cost(1024, 1024, 2048, 1, 1, cfg))
+        b = model.latency_us(gemm_cost(1024, 1024, 2048, 2, 8, cfg))
+        assert b > 3 * a  # 16x the MACs, shared launch floor
+
+    def test_breakdown_totals(self, model):
+        cost = _apmm_cost(512, 512, 1024, 1, 2)
+        lb = model.kernel_latency(cost)
+        assert lb.total_us == pytest.approx(
+            lb.launch_us + max(lb.compute_us, lb.memory_us) + lb.epilogue_us
+        )
+        assert lb.bound in ("compute", "memory")
+
+    def test_utilization_bounds(self, model):
+        small = _apmm_cost(16, 16, 128, 1, 1)
+        huge = _apmm_cost(8192, 8192, 1024, 1, 1)
+        assert 0 < model.compute_utilization(small) < 1
+        assert model.compute_utilization(huge) == 1.0
+
+    def test_more_blocks_higher_utilization(self, model):
+        few = gemm_cost(128, 128, 1024, 1, 1, TileConfig(128, 128))
+        many = gemm_cost(128, 128, 1024, 1, 1, TileConfig(16, 16))
+        assert model.compute_utilization(many) > model.compute_utilization(few)
+
+    def test_chain_latency_sums(self, model):
+        cost = _apmm_cost(64, 64, 128, 1, 1)
+        assert model.chain_latency_us([cost, cost]) == pytest.approx(
+            2 * model.latency_us(cost)
+        )
+
+    def test_launches_validated(self, model):
+        cost = KernelCost(
+            name="bad",
+            counters=ExecutionCounters(),
+            compute_class="int1",
+            efficiency_key="apmm",
+            warps_per_block=8,
+            smem_bytes_per_block=0,
+        )
+        with pytest.raises(ValueError, match="launches"):
+            model.kernel_latency(cost)
+
+    def test_multi_launch_overhead(self, model):
+        cfg = TileConfig(16, 16)
+        one = gemm_cost(64, 64, 128, 2, 2, cfg)
+        four = gemm_cost(64, 64, 128, 2, 2, cfg, batch_planes=False)
+        l1 = model.kernel_latency(one)
+        l4 = model.kernel_latency(four)
+        assert l4.launch_us > 4 * RTX3090.launch_overhead_us - 1e-9
+        assert l4.total_us > l1.total_us
+
+    def test_fig11_decompose_combine_small_overhead(self, model):
+        """Bit decomposition + combination cost a few percent (Fig. 11)."""
+        m, n, k = conv_gemm_dims(1, 512, 512, 16, 16, 3, 1, 1)
+        cfg = autotune(m, n, 1, 2, RTX3090).config
+        full = gemm_cost(m, n, k, 1, 2, cfg)
+        tc_only = full.without_combine().without_decompose()
+        t_full = model.latency_us(full)
+        t_tc = model.latency_us(tc_only)
+        overhead = (t_full - t_tc) / t_tc
+        assert 0 < overhead < 0.10
+
+    def test_without_decompose_idempotent_fields(self):
+        cost = gemm_cost(64, 64, 128, 1, 2, TileConfig(16, 16))
+        stripped = cost.without_decompose()
+        assert stripped.decompose_ops == 0
+        assert stripped.counters.cuda_ops == cost.counters.cuda_ops - cost.decompose_ops
+
+
+class TestPaperAnchors:
+    """Absolute latencies within tolerance of the paper's Table 4."""
+
+    PAPER_TABLE4 = {
+        "w1a2": 6.67,
+        "w1a3": 6.81,
+        "w1a4": 7.06,
+        "w2a2": 7.15,
+        "cutlass-gemm-int4": 15.61,
+        "cutlass-gemm-int1": 7.92,
+    }
+
+    @pytest.mark.parametrize("name,p,q", [
+        ("w1a2", 1, 2), ("w1a3", 1, 3), ("w1a4", 1, 4), ("w2a2", 2, 2),
+    ])
+    def test_apmm_fc_latency_near_paper(self, model, name, p, q):
+        cost = _apmm_cost(1024, 64, 1024, p, q)
+        got = model.latency_us(cost)
+        assert got == pytest.approx(self.PAPER_TABLE4[name], rel=0.25)
+
+    def test_cutlass_int4_latency_near_paper(self, model):
+        cost = baseline_gemm_cost(
+            64, 1024, 1024, 4, TileConfig(128, 128),
+            compute_class="int4", efficiency_key="cutlass_int4",
+        )
+        assert model.latency_us(cost) == pytest.approx(15.61, rel=0.25)
+
+    def test_cutlass_int1_latency_near_paper(self, model):
+        cost = baseline_gemm_cost(
+            64, 1024, 1024, 1, TileConfig(64, 64),
+            compute_class="int1", efficiency_key="cutlass_int1",
+        )
+        assert model.latency_us(cost) == pytest.approx(7.92, rel=0.25)
+
+    def test_table4_ordering(self, model):
+        """w1a2 fastest; every APMM variant beats cutlass-int4."""
+        lat = {
+            name: model.latency_us(_apmm_cost(1024, 64, 1024, p, q))
+            for name, p, q in [("w1a2", 1, 2), ("w1a3", 1, 3),
+                               ("w1a4", 1, 4), ("w2a2", 2, 2)]
+        }
+        int4 = model.latency_us(
+            baseline_gemm_cost(64, 1024, 1024, 4, TileConfig(128, 128),
+                               compute_class="int4",
+                               efficiency_key="cutlass_int4")
+        )
+        assert lat["w1a2"] == min(lat.values())
+        assert all(v < int4 for v in lat.values())
+
+    def test_a100_int8_gap_larger_than_3090(self):
+        """A100's 8x int1:int8 ratio -> larger emulation headroom (Fig. 6).
+
+        The architectural advantage shows once both kernels are
+        compute-bound, so compare at a saturating problem size.
+        """
+        m3090, ma100 = LatencyModel(RTX3090), LatencyModel(A100)
+
+        def ratio(model, device):
+            m, n, k = 8192, 8192, 8192
+            ap = gemm_cost(m, n, k, 1, 8, autotune(m, n, 1, 8, device).config)
+            i8 = baseline_gemm_cost(n, m, k, 8, TileConfig(128, 128),
+                                    compute_class="int8",
+                                    efficiency_key="cublas_int8")
+            return model.latency_us(i8) / model.latency_us(ap)
+
+        assert ratio(ma100, A100) > 1.5 * ratio(m3090, RTX3090)

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "bit-exact: OK" in out
+    assert "speedup" in out
+
+
+def test_autotune_explorer():
+    out = _run("autotune_explorer.py")
+    assert "<== chosen" in out
+    assert "128x128" in out
+
+
+def test_kernel_fusion_study():
+    out = _run("kernel_fusion_study.py")
+    assert "fused epilogue == layer-by-layer reference: OK" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_image_classification_small():
+    out = _run("image_classification.py", "--small")
+    assert "APNN-w1a2" in out
+    assert "per-layer breakdown" in out
+
+
+@pytest.mark.slow
+def test_mixed_precision_tradeoff():
+    out = _run("mixed_precision_tradeoff.py")
+    assert "w2a8" in out
+    assert "int8 (library)" in out

@@ -1,0 +1,69 @@
+"""Tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.train import make_dataset
+
+
+class TestMakeDataset:
+    def test_shapes_and_ranges(self):
+        ds = make_dataset(num_classes=4, train_per_class=10, test_per_class=5,
+                          size=16, seed=0)
+        assert ds.x_train.shape == (40, 3, 16, 16)
+        assert ds.x_test.shape == (20, 3, 16, 16)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+        assert ds.num_classes == 4
+
+    def test_all_classes_present(self):
+        ds = make_dataset(num_classes=5, train_per_class=8, test_per_class=4,
+                          seed=1)
+        assert set(ds.y_train.tolist()) == set(range(5))
+        assert set(ds.y_test.tolist()) == set(range(5))
+
+    def test_labels_balanced(self):
+        ds = make_dataset(num_classes=3, train_per_class=12, test_per_class=6,
+                          seed=2)
+        counts = np.bincount(ds.y_train)
+        assert np.all(counts == 12)
+
+    def test_deterministic_by_seed(self):
+        a = make_dataset(num_classes=3, train_per_class=5, test_per_class=2, seed=7)
+        b = make_dataset(num_classes=3, train_per_class=5, test_per_class=2, seed=7)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(num_classes=3, train_per_class=5, test_per_class=2, seed=1)
+        b = make_dataset(num_classes=3, train_per_class=5, test_per_class=2, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_classes_are_separable_by_template(self):
+        """Mean images of different classes must differ measurably."""
+        ds = make_dataset(num_classes=3, train_per_class=30, test_per_class=5,
+                          noise=0.2, seed=3)
+        means = [
+            ds.x_train[ds.y_train == c].mean(axis=0) for c in range(3)
+        ]
+        gaps = [
+            np.abs(means[i] - means[j]).mean()
+            for i in range(3) for j in range(i + 1, 3)
+        ]
+        assert min(gaps) > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset(num_classes=1)
+        with pytest.raises(ValueError):
+            make_dataset(noise=-0.1)
+        with pytest.raises(ValueError):
+            make_dataset(detail=0.0)
+
+    def test_noise_increases_within_class_variance(self):
+        lo = make_dataset(num_classes=2, train_per_class=20, test_per_class=2,
+                          noise=0.05, max_shift=0, seed=4)
+        hi = make_dataset(num_classes=2, train_per_class=20, test_per_class=2,
+                          noise=0.5, max_shift=0, seed=4)
+        var_lo = lo.x_train[lo.y_train == 0].var(axis=0).mean()
+        var_hi = hi.x_train[hi.y_train == 0].var(axis=0).mean()
+        assert var_hi > var_lo

@@ -1,0 +1,163 @@
+"""Tests for quantization-aware training (Table 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.train import QATConfig, QATConvNet, evaluate, make_dataset, train_model
+from repro.train.qat import _quantize_acts_ste, _quantize_weights_ste
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return make_dataset(
+        num_classes=4, train_per_class=60, test_per_class=15, size=32,
+        noise=0.25, detail=0.45, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_data):
+    """One training run per preset, shared across tests."""
+    return {
+        preset: train_model(
+            tiny_data, QATConfig.preset(preset, epochs=8, seed=1)
+        )
+        for preset in ("float", "w1a2", "binary")
+    }
+
+
+class TestQuantizerSTE:
+    def test_float_passthrough(self):
+        w = np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32)
+        assert _quantize_weights_ste(w, None) is w
+
+    def test_binary_weights_are_scaled_signs(self):
+        w = np.array([[-2.0, 3.0]], dtype=np.float32)
+        wq = _quantize_weights_ste(w, 1)
+        assert np.array_equal(np.sign(wq), np.sign(w))
+        assert np.allclose(np.abs(wq), 2.5)  # mean |w|
+
+    def test_2bit_weights_on_grid(self):
+        rng = np.random.default_rng(1)
+        wq = _quantize_weights_ste(rng.normal(size=100).astype(np.float32), 2)
+        assert len(np.unique(np.round(wq, 6))) <= 4
+
+    def test_unsigned_acts_quantize_and_mask(self):
+        x = np.array([-0.5, 0.3, 0.8, 1.5], dtype=np.float32)
+        q, mask = _quantize_acts_ste(x, 2, False, alpha=1.0)
+        assert q.min() >= 0 and q.max() <= 1.0
+        assert np.array_equal(mask, [0, 1, 1, 0])  # clip region has no grad
+
+    def test_bipolar_acts_are_signs(self):
+        x = np.array([-0.5, 0.3], dtype=np.float32)
+        q, mask = _quantize_acts_ste(x, 1, True, alpha=1.0)
+        assert np.array_equal(q, [-1.0, 1.0])
+        assert np.all(mask == 1)
+
+    def test_alpha_scales_grid(self):
+        x = np.array([0.0, 2.0, 4.0], dtype=np.float32)
+        q, _ = _quantize_acts_ste(x, 2, False, alpha=4.0)
+        assert q.max() == pytest.approx(4.0)
+
+
+class TestQATConfig:
+    def test_presets(self):
+        assert QATConfig.preset("float").weight_bits is None
+        w1a2 = QATConfig.preset("w1a2")
+        assert (w1a2.weight_bits, w1a2.act_bits) == (1, 2)
+        binary = QATConfig.preset("binary")
+        assert binary.bipolar_acts
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            QATConfig.preset("w9a9")
+
+    def test_overrides(self):
+        cfg = QATConfig.preset("w1a2", epochs=3, lr=0.1)
+        assert cfg.epochs == 3 and cfg.lr == 0.1
+
+
+class TestGradients:
+    def test_conv_numerical_gradient(self):
+        """Backprop through the quantized conv matches finite differences."""
+        from repro.train.qat import _Conv
+
+        rng = np.random.default_rng(2)
+        conv = _Conv(rng, 2, 3, 3, 1, None)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float64)
+
+        def loss_of(w):
+            conv.w = w
+            out = conv.forward(x)
+            return float((out ** 2).sum() / 2)
+
+        out = conv.forward(x)
+        conv.backward(out)  # dL/dout = out for L = ||out||^2/2
+        analytic = conv.dw.copy()
+        eps = 1e-4
+        idx = (1, 0, 2, 1)
+        w0 = conv.w.copy()
+        wp = w0.copy(); wp[idx] += eps
+        wm = w0.copy(); wm[idx] -= eps
+        numeric = (loss_of(wp) - loss_of(wm)) / (2 * eps)
+        assert analytic[idx] == pytest.approx(numeric, rel=1e-3)
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        from repro.train.qat import _MaxPool2
+
+        pool = _MaxPool2()
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        dx = pool.backward(np.array([[[[10.0]]]]))
+        assert dx[0, 0, 1, 1] == 10.0
+        assert dx.sum() == 10.0
+
+
+class TestTraining:
+    def test_float_learns(self, trained):
+        res = trained["float"]
+        assert res.test_accuracy > 0.6
+        assert res.losses[-1] < res.losses[0]
+
+    def test_w1a2_learns(self, trained):
+        assert trained["w1a2"].test_accuracy > 0.6
+
+    def test_binary_learns(self, trained):
+        assert trained["binary"].test_accuracy > 0.5
+
+    def test_table1_ordering(self, trained):
+        """float >= w1a2 (small gap) within tolerance.
+
+        The paper's headline: w1a2 costs only ~2% accuracy vs float.  The
+        binary drop the paper reports on ImageNet does not manifest on a
+        task this small (documented in EXPERIMENTS.md), so binary is only
+        checked for learning, not for a gap.
+        """
+        accs = {k: v.test_accuracy for k, v in trained.items()}
+        assert accs["float"] >= accs["w1a2"] - 0.1
+        assert accs["w1a2"] >= accs["float"] - 0.2  # small quantization gap
+
+    def test_warm_start_runs_extra_epochs(self, tiny_data):
+        cfg = QATConfig.preset("w1a2", epochs=2, warm_start_epochs=2, seed=0)
+        res = train_model(tiny_data, cfg)
+        assert len(res.losses) == 4
+
+    def test_evaluate_bounds(self, tiny_data):
+        net = QATConvNet(tiny_data.num_classes, QATConfig.preset("float"),
+                         size=32)
+        acc = evaluate(net, tiny_data.x_test, tiny_data.y_test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_net_size_validated(self):
+        with pytest.raises(ValueError):
+            QATConvNet(4, QATConfig.preset("float"), size=15)
+
+    def test_quant_toggle(self, tiny_data):
+        net = QATConvNet(4, QATConfig.preset("w1a2"), size=16)
+        net.set_quantization(False)
+        assert all(
+            layer.w_bits is None
+            for layer in [net.fc1] if hasattr(layer, "w_bits")
+        )
+        net.set_quantization(True)
+        assert net.fc1.w_bits == 1
