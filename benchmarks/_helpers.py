@@ -10,16 +10,29 @@ bench run.
 from __future__ import annotations
 
 import functools
+import os
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+#: Default when ``REPRO_RESULTS_DIR`` is unset: <repo root>/results.
+DEFAULT_RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def results_dir() -> pathlib.Path:
+    """Report output directory, overridable via ``REPRO_RESULTS_DIR``.
+
+    Read at call time (not import time) so CI and bench wrappers can
+    redirect report files away from the repo checkout.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    return pathlib.Path(override) if override else DEFAULT_RESULTS_DIR
 
 
 def save_and_print(name: str, report: str) -> None:
-    """Print a rendered report and persist it under results/."""
+    """Print a rendered report and persist it under the results dir."""
     print(f"\n{'=' * 72}\n{report}\n{'=' * 72}")
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.md").write_text(report + "\n")
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.md").write_text(report + "\n")
 
 
 @functools.lru_cache(maxsize=None)

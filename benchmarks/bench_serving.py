@@ -1,0 +1,91 @@
+"""Serving: trace-driven load against the async batched inference server.
+
+Replays a Poisson request trace across two backends and two devices, with
+one shared plan cache across benchmark rounds -- the round-over-round
+speedup is the plan cache doing its job (steady-state serving never
+re-plans).  Asserts the headline serving invariants: every request is
+answered, batches coalesce, and the steady-state plan-cache hit rate is
+high.
+"""
+
+import asyncio
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend, BNNBackend, alexnet, resnet18
+from repro.serve import (
+    InferenceServer,
+    PlanCache,
+    ServedModel,
+    poisson_trace,
+    replay,
+)
+from repro.tensorcore import A100, RTX3090
+
+from _helpers import save_and_print
+
+NUM_REQUESTS = 200
+RATE_RPS = 50_000.0
+SLO_MS = 2.0
+#: Closed-loop wave width: at most this many requests are in flight, so
+#: the batcher makes many real decisions instead of one giant burst.
+WAVE = 20
+
+
+def _models():
+    return {
+        "alexnet-64": ServedModel(
+            alexnet(num_classes=10, input_size=64), (3, 64, 64)
+        ),
+        "resnet18-32": ServedModel(
+            resnet18(num_classes=10, input_size=32), (3, 32, 32)
+        ),
+    }
+
+
+def _serve_once(plan_cache: PlanCache):
+    models = _models()
+    server = InferenceServer(
+        models,
+        workers=[
+            (APNNBackend(PrecisionPair.parse("w1a2")), RTX3090),
+            (BNNBackend(), A100),
+        ],
+        slo_ms=SLO_MS,
+        plan_cache=plan_cache,
+    )
+    trace = poisson_trace(RATE_RPS, NUM_REQUESTS, sorted(models), seed=7)
+
+    async def run():
+        await server.start()
+        results = []
+        for i in range(0, len(trace), WAVE):
+            results.extend(await replay(server, trace[i:i + WAVE]))
+        await server.stop()
+        return server, results
+
+    return asyncio.run(run())
+
+
+def test_serving_trace_load(benchmark):
+    plan_cache = PlanCache()
+    server, results = benchmark.pedantic(
+        lambda: _serve_once(plan_cache), rounds=3, iterations=1
+    )
+
+    assert len(results) == NUM_REQUESTS
+    assert server.metrics.total_requests == NUM_REQUESTS
+    assert server.metrics.total_batches < NUM_REQUESTS  # coalescing happened
+    assert len(server.metrics.workers) == 2
+
+    # Steady state: later rounds replan nothing, so the shared cache's
+    # cumulative hit rate is high by the final round.
+    stats = plan_cache.stats()
+    assert stats.hit_rate > 0.9, stats
+
+    report = (
+        f"Serving load: {NUM_REQUESTS} requests, Poisson {RATE_RPS:.0f} rps, "
+        f"SLO {SLO_MS} ms\n\n"
+        + server.metrics.report(plan_cache)
+        + f"\nsim duration    : {server.sim_duration_us / 1e3:.3f} ms"
+    )
+    save_and_print("serving_load", report)

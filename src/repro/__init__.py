@@ -22,6 +22,9 @@ Subpackages
 ``repro.train``
     QEM quantization-aware training on a synthetic dataset (Table 1
     substitute).
+``repro.serve``
+    Async batched inference serving: plan cache, cost-model-driven
+    dynamic batching, multi-backend worker pool, serving metrics.
 ``repro.experiments``
     Harness regenerating every table and figure of the paper's evaluation.
 """

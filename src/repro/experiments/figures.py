@@ -47,6 +47,7 @@ __all__ = [
     "table3_vgg_case_study",
     "table4_fc_latency",
     "ablation_design_choices",
+    "serving_throughput_vs_slo",
 ]
 
 GEMM_SIZES = tuple(range(128, 1025, 128))
@@ -487,3 +488,50 @@ def ablation_design_choices():
         "apconv-w1a2 channel-major (512ch)": conv_major,
         "apconv-w1a2 naive NCHW (512ch)": conv_nchw,
     }
+
+
+# ----------------------------------------------------------------------
+# serving study
+# ----------------------------------------------------------------------
+def serving_throughput_vs_slo(
+    slos_ms: tuple[float, ...] = (0.5, 1.0, 2.0, 5.0, 10.0, 50.0),
+    model_name: str = "AlexNet",
+    device: DeviceSpec = RTX3090,
+):
+    """Batcher-chosen batch size and modeled throughput per latency SLO.
+
+    Uses the serving layer's dynamic batcher against a deep queue: for
+    each SLO the batcher sweeps candidate batch sizes through the same
+    cost model the paper tables use and keeps the highest-throughput
+    batch whose modeled latency meets the objective.  Tight SLOs force
+    small batches (launch overhead dominates, throughput suffers); loose
+    SLOs recover the paper's batch-128 throughput regime (Table 2).
+    """
+    from ..serve import DynamicBatcher, PlanCache
+
+    net = MODEL_BUILDERS[model_name]()
+    backends = [
+        APNNBackend(PrecisionPair.parse("w1a2")),
+        BNNBackend(),
+        LibraryBackend("int8"),
+    ]
+    cache = PlanCache()
+    engines = [InferenceEngine(net, b, device) for b in backends]
+    rows = []
+    for slo_ms in slos_ms:
+        batcher = DynamicBatcher(slo_ms)
+        for backend, engine in zip(backends, engines):
+            decision = batcher.choose(
+                256, lambda b: cache.total_us(engine, b)
+            )
+            rows.append(
+                {
+                    "slo_ms": slo_ms,
+                    "scheme": backend.name,
+                    "batch": decision.batch_size,
+                    "latency_ms": decision.expected_latency_ms,
+                    "throughput_fps": decision.expected_throughput_rps,
+                    "meets_slo": decision.meets_slo,
+                }
+            )
+    return rows

@@ -142,6 +142,21 @@ def _render_table4():
     )
 
 
+def _render_serving():
+    rows = figures.serving_throughput_vs_slo()
+    return (
+        "Serving - batcher-chosen batch size vs latency SLO "
+        "(AlexNet, RTX 3090, deep queue)\n"
+        + format_rows(
+            rows,
+            ["slo_ms", "scheme", "batch", "latency_ms", "throughput_fps",
+             "meets_slo"],
+        )
+        + "\n\nbatch chosen to maximize modeled throughput subject to the "
+        "SLO;\nmeets_slo False means even batch 1 misses the objective."
+    )
+
+
 def _render_ablations():
     data = figures.ablation_design_choices()
     rows = [[k, v] for k, v in data.items()]
@@ -164,6 +179,7 @@ EXPERIMENTS = {
     "fig11": _render_fig11,
     "fig12": _render_fig12,
     "ablations": _render_ablations,
+    "serving": _render_serving,
 }
 
 
@@ -190,6 +206,14 @@ def main(argv: list[str] | None = None) -> int:
     names = args.only if args.only else (list(EXPERIMENTS) if args.all else None)
     if not names:
         parser.print_help()
+        return 2
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
         return 2
     for name in names:
         report = run_experiment(name)

@@ -3,7 +3,14 @@
 from .apconv import APConvResult, apconv
 from .apmm import APMMResult, apmm
 from .apmm_sim import apmm_tile_simulate
-from .autotune import TLP_THRESHOLD, TuneResult, autotune
+from .autotune import (
+    TLP_THRESHOLD,
+    AutotuneCacheStats,
+    TuneResult,
+    autotune,
+    cache_stats,
+    clear_cache,
+)
 from .fusion import (
     AvgPoolOp,
     BatchNormOp,
@@ -44,6 +51,9 @@ __all__ = [
     "TuneResult",
     "autotune",
     "TLP_THRESHOLD",
+    "AutotuneCacheStats",
+    "cache_stats",
+    "clear_cache",
     "TileConfig",
     "tlp",
     "compute_intensity",

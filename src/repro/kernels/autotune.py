@@ -29,7 +29,14 @@ from functools import lru_cache
 from ..tensorcore.device import DeviceSpec, get_device
 from .tiling import CANDIDATE_TILES, TileConfig, compute_intensity, tlp
 
-__all__ = ["TuneResult", "autotune", "TLP_THRESHOLD"]
+__all__ = [
+    "TuneResult",
+    "autotune",
+    "TLP_THRESHOLD",
+    "AutotuneCacheStats",
+    "cache_stats",
+    "clear_cache",
+]
 
 #: Paper: "We empirically set T as 64 in our evaluation."
 TLP_THRESHOLD = 64.0
@@ -132,6 +139,40 @@ def autotune(
         if not registered:
             return _autotune_uncached(m, n, p_bits, q_bits, device, threshold)
     return _autotune_cached(m, n, p_bits, q_bits, name, threshold)
+
+
+@dataclass(frozen=True)
+class AutotuneCacheStats:
+    """Memoization counters of the (problem, device) tuning cache.
+
+    Surfaced so the serving metrics layer (:mod:`repro.serve.metrics`) can
+    report how often layer shapes re-tune versus reuse a prior search.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def cache_stats() -> AutotuneCacheStats:
+    """Current hit/miss/size counters of the autotune memo."""
+    info = _autotune_cached.cache_info()
+    return AutotuneCacheStats(
+        hits=info.hits, misses=info.misses, entries=info.currsize
+    )
+
+
+def clear_cache() -> None:
+    """Drop all memoized tuning results (and their counters)."""
+    _autotune_cached.cache_clear()
 
 
 def _autotune_uncached(m, n, p_bits, q_bits, device, threshold):

@@ -4,10 +4,12 @@ from .dataflow import DataflowPlan, GroupPlan, plan_dataflow
 from .engine import (
     APNNBackend,
     BNNBackend,
+    CompiledPlan,
     GroupReport,
     InferenceEngine,
     LibraryBackend,
     ModelReport,
+    PlannedGroup,
 )
 from .fusion_pass import EPILOGUE_TYPES, FusedGroup, fuse_graph
 from .layers import (
@@ -54,4 +56,6 @@ __all__ = [
     "InferenceEngine",
     "GroupReport",
     "ModelReport",
+    "PlannedGroup",
+    "CompiledPlan",
 ]

@@ -20,9 +20,13 @@ backend            behaviour
                    own kernel, 32/16/8-bit boundary tensors
 =================  =====================================================
 
-``estimate(batch)`` prices a whole network without moving data --
-required for ImageNet-scale latency tables -- while ``forward(x)`` runs
-the float reference semantics for functional tests and examples.
+``compile(batch)`` performs the expensive planning work (fusion walk,
+shape propagation, dataflow assignment, tile autotuning, cost assembly)
+once and returns a reusable :class:`CompiledPlan`; ``estimate(batch)``
+compiles and prices in one call -- required for ImageNet-scale latency
+tables -- while ``forward(x)`` runs the float reference semantics for
+functional tests and examples.  The serving layer (:mod:`repro.serve`)
+memoizes compiled plans so repeat requests never re-plan.
 """
 
 from __future__ import annotations
@@ -67,6 +71,8 @@ __all__ = [
     "LibraryBackend",
     "GroupReport",
     "ModelReport",
+    "PlannedGroup",
+    "CompiledPlan",
     "InferenceEngine",
 ]
 
@@ -201,6 +207,70 @@ class ModelReport:
         """Per-group share of total latency (Fig. 9's breakdown)."""
         total = self.total_us
         return [(g.name, g.total_us / total) for g in self.groups]
+
+
+@dataclass(frozen=True)
+class PlannedGroup:
+    """One fused group's compiled kernel chain (pricing-independent)."""
+
+    name: str
+    kind: str
+    costs: tuple[KernelCost, ...]
+    output_shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Reusable execution plan: every planning decision, no pricing.
+
+    Holds the fused groups' :class:`~repro.perf.cost.KernelCost` chains
+    (which embed the autotuned tiles) plus the boundary-precision dataflow
+    for one (model, backend, device, batch, input shape) combination.
+    Planning is the expensive half of :meth:`InferenceEngine.estimate`;
+    a plan can be priced repeatedly -- or cached by
+    :class:`repro.serve.PlanCache` -- without redoing it.
+    """
+
+    model_name: str
+    backend_name: str
+    device_name: str
+    batch: int
+    input_shape: tuple[int, ...]
+    groups: tuple[PlannedGroup, ...]
+    dataflow: DataflowPlan | None
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(
+            c.counters.kernel_launches for g in self.groups for c in g.costs
+        )
+
+    def price(self, latency_model: LatencyModel) -> ModelReport:
+        """Price this plan's kernel chains with one latency model."""
+        reports = []
+        for group in self.groups:
+            costs = list(group.costs)
+            total = sum(latency_model.latency_us(c) for c in costs)
+            reports.append(
+                GroupReport(
+                    name=group.name,
+                    kind=group.kind,
+                    latency=(
+                        latency_model.kernel_latency(costs[0]) if costs else None
+                    ),
+                    costs=costs,
+                    total_us=total,
+                    output_shape=group.output_shape,
+                )
+            )
+        return ModelReport(
+            model_name=self.model_name,
+            backend_name=self.backend_name,
+            device_name=self.device_name,
+            batch=self.batch,
+            groups=reports,
+            dataflow=self.dataflow,
+        )
 
 
 def _elements(shape: tuple[int, ...]) -> int:
@@ -442,12 +512,12 @@ class InferenceEngine:
         return costs
 
     # ------------------------------------------------------------------
-    def estimate(
+    def compile(
         self,
         batch: int,
         input_shape: tuple[int, int, int] = (3, 224, 224),
-    ) -> ModelReport:
-        """Price the full network at the given batch size."""
+    ) -> CompiledPlan:
+        """Plan the full network at the given batch size (no pricing)."""
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         records = self._walk_shapes((batch,) + tuple(input_shape))
@@ -458,7 +528,7 @@ class InferenceEngine:
             dataflow = plan_dataflow(self.groups, shapes, pair)
             plans = dataflow.groups
 
-        reports: list[GroupReport] = []
+        planned: list[PlannedGroup] = []
         first_gemm_seen = False
         for idx, (group, gin, epilogue_elems, out_shape) in enumerate(records):
             if group.main is not None:
@@ -485,25 +555,28 @@ class InferenceEngine:
                 costs = self._assemble_elementwise_group(
                     group, epilogue_elems, out_shape
                 )
-            total = sum(self.latency_model.latency_us(c) for c in costs)
-            reports.append(
-                GroupReport(
+            planned.append(
+                PlannedGroup(
                     name=group.name,
                     kind=type(group.main).__name__ if group.main else "epilogue",
-                    latency=(
-                        self.latency_model.kernel_latency(costs[0])
-                        if costs else None
-                    ),
-                    costs=costs,
-                    total_us=total,
+                    costs=tuple(costs),
                     output_shape=out_shape,
                 )
             )
-        return ModelReport(
+        return CompiledPlan(
             model_name=self.model.name,
             backend_name=self.backend.name,
             device_name=self.device.name,
             batch=batch,
-            groups=reports,
+            input_shape=tuple(input_shape),
+            groups=tuple(planned),
             dataflow=dataflow,
         )
+
+    def estimate(
+        self,
+        batch: int,
+        input_shape: tuple[int, int, int] = (3, 224, 224),
+    ) -> ModelReport:
+        """Price the full network at the given batch size."""
+        return self.compile(batch, input_shape).price(self.latency_model)

@@ -9,7 +9,12 @@ from .cost import (
     conv_gemm_dims,
     gemm_cost,
 )
-from .model import LatencyBreakdown, LatencyModel
+from .model import (
+    BatchSweepPoint,
+    LatencyBreakdown,
+    LatencyModel,
+    batch_size_sweep,
+)
 
 __all__ = [
     "Calibration",
@@ -23,4 +28,6 @@ __all__ = [
     "conv_gemm_dims",
     "LatencyBreakdown",
     "LatencyModel",
+    "BatchSweepPoint",
+    "batch_size_sweep",
 ]

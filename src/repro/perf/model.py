@@ -28,12 +28,18 @@ cost a small percentage of the O(n^3) TC phase (Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from ..tensorcore.device import DeviceSpec
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .cost import KernelCost
 
-__all__ = ["LatencyBreakdown", "LatencyModel"]
+__all__ = [
+    "LatencyBreakdown",
+    "LatencyModel",
+    "BatchSweepPoint",
+    "batch_size_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -162,3 +168,51 @@ class LatencyModel:
     def chain_latency_us(self, costs: list[KernelCost]) -> float:
         """Total microseconds of a dependent kernel sequence."""
         return sum(self.latency_us(c) for c in costs)
+
+
+# ----------------------------------------------------------------------
+# batch-size sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchSweepPoint:
+    """Modeled latency/throughput of one candidate batch size."""
+
+    batch: int
+    latency_us: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1000.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second when batches of this size run back-to-back."""
+        return self.batch / (self.latency_us * 1e-6)
+
+
+def batch_size_sweep(
+    price_us: Callable[[int], float],
+    batch_sizes: Iterable[int],
+) -> tuple[BatchSweepPoint, ...]:
+    """Price a model at each candidate batch size.
+
+    ``price_us(batch)`` must return the modeled end-to-end latency in
+    microseconds -- typically ``engine.estimate(batch).total_us`` or a
+    plan-cache-backed equivalent.  The sweep is how the dynamic batcher
+    (:mod:`repro.serve.batcher`) trades launch-overhead amortization
+    against a latency SLO: throughput rises with batch size until the
+    grid saturates the device, while latency rises monotonically.
+    """
+    points = []
+    for batch in batch_sizes:
+        if batch < 1:
+            raise ValueError(f"batch sizes must be >= 1, got {batch}")
+        latency = price_us(batch)
+        if latency <= 0:
+            raise ValueError(
+                f"price_us({batch}) returned non-positive latency {latency}"
+            )
+        points.append(BatchSweepPoint(batch=batch, latency_us=latency))
+    if not points:
+        raise ValueError("batch_sizes must be non-empty")
+    return tuple(sorted(points, key=lambda p: p.batch))

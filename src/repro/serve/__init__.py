@@ -1,0 +1,51 @@
+"""Async batched inference serving on top of the analytical cost stack.
+
+This package turns the per-model pricing of
+:class:`~repro.nn.engine.InferenceEngine` into a throughput-oriented
+request-serving pipeline -- the road from the paper's offline wXaY
+latency tables (Tables 2-4) toward serving live traffic:
+
+``plan_cache``
+    LRU memo of compiled engine plans (fused groups + dataflow +
+    autotuned tiles + kernel cost chains) keyed by (model, backend,
+    precision, device, batch, input shape), so repeat requests never
+    re-plan.
+``batcher``
+    Dynamic batching: sweeps candidate batch sizes through the latency
+    model and picks the one maximizing modeled throughput under an SLO.
+``server``
+    Asyncio front end (``submit()`` / ``serve_forever()``) dispatching
+    coalesced batches to worker loops across backends and devices on a
+    simulated clock.
+``metrics``
+    Per-worker p50/p95 simulated latency, queue depth, batch occupancy,
+    and plan-/autotune-cache hit rates.
+``trace``
+    Poisson / burst load generators and a trace replayer.
+"""
+
+from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
+from .metrics import ServerMetrics, WorkerMetrics, percentile
+from .plan_cache import PlanCache, PlanCacheStats, PlanKey, backend_key
+from .server import InferenceServer, RequestResult, ServedModel
+from .trace import TraceEvent, burst_trace, poisson_trace, replay
+
+__all__ = [
+    "PlanKey",
+    "PlanCache",
+    "PlanCacheStats",
+    "backend_key",
+    "BatchDecision",
+    "DynamicBatcher",
+    "DEFAULT_CANDIDATE_BATCHES",
+    "ServerMetrics",
+    "WorkerMetrics",
+    "percentile",
+    "InferenceServer",
+    "RequestResult",
+    "ServedModel",
+    "TraceEvent",
+    "poisson_trace",
+    "burst_trace",
+    "replay",
+]

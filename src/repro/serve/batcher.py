@@ -1,0 +1,111 @@
+"""Cost-model-driven dynamic batching.
+
+The batcher decides, each time a worker frees up, how many queued
+requests to coalesce into one engine launch.  The trade-off it navigates
+is the one the latency model (:mod:`repro.perf.model`) encodes: bigger
+batches amortize kernel-launch overhead and fill more SMs (throughput
+rises), but every request in the batch pays the whole batch's latency
+(SLO pressure).  The decision rule:
+
+1. sweep the candidate batch sizes with :func:`repro.perf.batch_size_sweep`
+   (plan-cache-backed, so the sweep is cheap after warmup);
+2. among candidates whose modeled latency meets the SLO, pick the one
+   with the highest *effective* throughput ``min(queue_depth, batch) /
+   latency`` -- requests actually dispatched per unit time, so a
+   half-empty 128-wide batch never beats a full 64-wide one;
+3. if no candidate meets the SLO, fall back to the lowest-latency
+   candidate -- the server is overloaded and the SLO is unattainable, so
+   minimize the damage.
+
+Candidates are capped at the queue depth rounded up to the next candidate
+size, so a near-empty queue never waits to fill a 128-wide batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..perf.model import BatchSweepPoint, batch_size_sweep
+
+__all__ = ["DEFAULT_CANDIDATE_BATCHES", "BatchDecision", "DynamicBatcher"]
+
+#: Powers of two up to the throughput-study batch of the paper (Table 2).
+DEFAULT_CANDIDATE_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One scheduling decision plus the sweep that justified it."""
+
+    batch_size: int
+    expected_latency_us: float
+    expected_throughput_rps: float
+    meets_slo: bool
+    sweep: tuple[BatchSweepPoint, ...]
+
+    @property
+    def expected_latency_ms(self) -> float:
+        return self.expected_latency_us / 1000.0
+
+
+class DynamicBatcher:
+    """Picks batch sizes maximizing modeled throughput under an SLO."""
+
+    def __init__(
+        self,
+        slo_ms: float,
+        candidate_batches: Sequence[int] = DEFAULT_CANDIDATE_BATCHES,
+    ) -> None:
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        cands = sorted(set(int(b) for b in candidate_batches))
+        if not cands or cands[0] < 1:
+            raise ValueError(
+                f"candidate_batches must be >= 1, got {candidate_batches}"
+            )
+        self.slo_ms = slo_ms
+        self.candidate_batches = tuple(cands)
+
+    def eligible_batches(self, queue_depth: int) -> tuple[int, ...]:
+        """Candidates no larger than the queue, plus one round-up size."""
+        depth = max(1, queue_depth)
+        eligible = [b for b in self.candidate_batches if b <= depth]
+        larger = [b for b in self.candidate_batches if b > depth]
+        if larger:
+            eligible.append(larger[0])
+        return tuple(eligible)
+
+    def choose(
+        self,
+        queue_depth: int,
+        price_us: Callable[[int], float],
+    ) -> BatchDecision:
+        """Decide the batch size for the current queue.
+
+        ``price_us(batch)`` returns modeled whole-model latency in
+        microseconds (see :func:`repro.perf.batch_size_sweep`).
+        """
+        depth = max(1, queue_depth)
+        sweep = batch_size_sweep(price_us, self.eligible_batches(depth))
+        slo_us = self.slo_ms * 1000.0
+
+        def effective_rps(p: BatchSweepPoint) -> float:
+            return min(depth, p.batch) / (p.latency_us * 1e-6)
+
+        feasible = [p for p in sweep if p.latency_us <= slo_us]
+        if feasible:
+            # Tie-break toward the smaller batch: same dispatch rate with
+            # less over-compiled capacity.
+            best = max(feasible, key=lambda p: (effective_rps(p), -p.batch))
+            meets = True
+        else:
+            best = min(sweep, key=lambda p: p.latency_us)
+            meets = False
+        return BatchDecision(
+            batch_size=best.batch,
+            expected_latency_us=best.latency_us,
+            expected_throughput_rps=effective_rps(best),
+            meets_slo=meets,
+            sweep=sweep,
+        )

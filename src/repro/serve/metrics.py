@@ -1,0 +1,202 @@
+"""Serving metrics: per-backend counters and latency percentiles.
+
+Everything here is about *simulated* time -- the microseconds the cost
+model assigns to batches -- because that is the quantity the paper's
+latency tables report and the SLO is defined against.  Wall-clock time of
+the asyncio machinery is incidental and never recorded.
+
+The registry aggregates:
+
+* per-worker request/batch counts, batch occupancy (requests actually
+  coalesced / batch size the plan was compiled for) and queue depth at
+  dispatch;
+* per-worker p50/p95 of the simulated per-request latency (queue wait +
+  batch service, over a sliding window of the most recent requests so a
+  long-running server's memory stays bounded) and SLO miss counts;
+* plan-cache and autotune-cache hit rates, pulled in at report time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..kernels.autotune import AutotuneCacheStats
+from ..kernels.autotune import cache_stats as autotune_cache_stats
+from .plan_cache import PlanCache
+
+__all__ = ["percentile", "WorkerMetrics", "ServerMetrics"]
+
+#: Sliding-window length for per-request latency percentiles.
+DEFAULT_LATENCY_WINDOW = 10_000
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample.
+
+    ``q`` is in [0, 100].  Returns 0.0 for an empty sample so freshly
+    started servers can render a report without special-casing.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = list(values)
+    if not data:
+        return 0.0
+    return float(np.percentile(data, q))
+
+
+@dataclass
+class WorkerMetrics:
+    """Counters of one (backend, device) worker.
+
+    Scalar counters cover the full lifetime; ``request_latencies_us``
+    holds only the last ``window`` requests (percentiles are over that
+    sliding window) so memory stays bounded under sustained load.
+    """
+
+    worker: str
+    window: int = DEFAULT_LATENCY_WINDOW
+    requests: int = 0
+    batches: int = 0
+    slo_misses: int = 0
+    occupancy_sum: float = 0.0
+    queue_depth_sum: int = 0
+    service_us_sum: float = 0.0
+    request_latencies_us: deque[float] = field(init=False)
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.request_latencies_us = deque(maxlen=self.window)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.occupancy_sum / self.batches if self.batches else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return self.queue_depth_sum / self.batches if self.batches else 0.0
+
+    @property
+    def p50_latency_us(self) -> float:
+        return percentile(self.request_latencies_us, 50)
+
+    @property
+    def p95_latency_us(self) -> float:
+        return percentile(self.request_latencies_us, 95)
+
+    @property
+    def simulated_throughput_rps(self) -> float:
+        """Requests over busy time -- the worker's service-rate ceiling."""
+        if not self.service_us_sum:
+            return 0.0
+        return self.requests / (self.service_us_sum * 1e-6)
+
+
+class ServerMetrics:
+    """Aggregated serving counters, keyed by worker name.
+
+    The autotune cache is process-global; call :meth:`mark_autotune_baseline`
+    (the server does this on ``start()``) so the report shows the delta
+    attributable to this server's traffic rather than whole-process counters.
+    """
+
+    def __init__(self) -> None:
+        self.workers: dict[str, WorkerMetrics] = {}
+        self._autotune_baseline: AutotuneCacheStats | None = None
+
+    def mark_autotune_baseline(self) -> None:
+        """Snapshot the global autotune counters as this server's zero."""
+        self._autotune_baseline = autotune_cache_stats()
+
+    def autotune_stats(self) -> AutotuneCacheStats:
+        """Autotune counters since the baseline (global if never marked)."""
+        now = autotune_cache_stats()
+        base = self._autotune_baseline
+        if base is None:
+            return now
+        return AutotuneCacheStats(
+            hits=max(0, now.hits - base.hits),
+            misses=max(0, now.misses - base.misses),
+            entries=now.entries,
+        )
+
+    def worker(self, name: str) -> WorkerMetrics:
+        if name not in self.workers:
+            self.workers[name] = WorkerMetrics(worker=name)
+        return self.workers[name]
+
+    def record_batch(
+        self,
+        worker: str,
+        *,
+        batch_size: int,
+        requests: int,
+        queue_depth: int,
+        service_us: float,
+        request_latencies_us: list[float],
+        meets_slo: bool,
+    ) -> None:
+        w = self.worker(worker)
+        w.batches += 1
+        w.requests += requests
+        w.batch_sizes[batch_size] = w.batch_sizes.get(batch_size, 0) + 1
+        w.occupancy_sum += requests / batch_size
+        w.queue_depth_sum += queue_depth
+        w.service_us_sum += service_us
+        w.request_latencies_us.extend(request_latencies_us)
+        if not meets_slo:
+            w.slo_misses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return sum(w.requests for w in self.workers.values())
+
+    @property
+    def total_batches(self) -> int:
+        return sum(w.batches for w in self.workers.values())
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for w in self.workers.values():
+            for b, n in w.batch_sizes.items():
+                hist[b] = hist.get(b, 0) + n
+        return dict(sorted(hist.items()))
+
+    def report(self, plan_cache: PlanCache | None = None) -> str:
+        """Human-readable metrics summary (simulated milliseconds)."""
+        lines = [
+            f"requests served : {self.total_requests}",
+            f"batches         : {self.total_batches}",
+            f"batch sizes     : "
+            + (", ".join(
+                f"{b}x{n}" for b, n in self.batch_size_histogram().items()
+            ) or "-"),
+        ]
+        for name in sorted(self.workers):
+            w = self.workers[name]
+            lines.append(
+                f"  {name}: {w.requests} reqs / {w.batches} batches, "
+                f"p50 {w.p50_latency_us / 1e3:.3f} ms, "
+                f"p95 {w.p95_latency_us / 1e3:.3f} ms, "
+                f"occupancy {w.mean_occupancy:.2f}, "
+                f"mean queue {w.mean_queue_depth:.1f}, "
+                f"slo-miss batches {w.slo_misses}"
+            )
+        if plan_cache is not None:
+            s = plan_cache.stats()
+            lines.append(
+                f"plan cache      : hit rate {s.hit_rate:.3f} "
+                f"({s.hits}/{s.lookups} lookups, {s.entries} plans, "
+                f"{s.evictions} evictions)"
+            )
+        a = self.autotune_stats()
+        since = " since start" if self._autotune_baseline is not None else ""
+        lines.append(
+            f"autotune cache  : hit rate {a.hit_rate:.3f} "
+            f"({a.hits}/{a.lookups} lookups{since}, {a.entries} entries)"
+        )
+        return "\n".join(lines)

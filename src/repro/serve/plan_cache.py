@@ -1,0 +1,202 @@
+"""Compiled-plan memoization for the serving layer.
+
+Planning a model (fusion walk, dataflow assignment, tile autotuning, cost
+assembly) is the expensive half of pricing it -- tens of milliseconds per
+(model, backend, batch) combination, against microseconds to re-price an
+existing :class:`~repro.nn.engine.CompiledPlan`.  A serving process sees
+the same handful of combinations millions of times, so the cache keys
+plans by every planning input:
+
+* model name and input shape,
+* backend identity *including* the precision configuration (a mixed
+  per-layer override produces a different key than the uniform pair),
+* device,
+* batch size, and
+* the latency model's calibration constants (the memoized priced total
+  is calibration-dependent even though the plan itself is not).
+
+Eviction is LRU with a configurable capacity; every lookup updates the
+hit/miss counters the metrics layer reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..nn.engine import APNNBackend, BNNBackend, CompiledPlan, InferenceEngine
+from ..perf.calibration import Calibration
+
+__all__ = [
+    "PlanKey",
+    "PlanCacheStats",
+    "PlanCache",
+    "backend_key",
+    "calibration_key",
+]
+
+
+def backend_key(backend) -> str:
+    """Canonical cache-key string for a backend's precision config.
+
+    ``backend.name`` alone is ambiguous for mixed-precision APNN backends
+    (every override set renders as ``+mixed``), so the key spells out the
+    per-layer pairs.
+    """
+    if isinstance(backend, APNNBackend):
+        parts = [f"APNN:{backend.pair.name}",
+                 f"first_a{backend.first_layer_activation_bits}"]
+        for layer, pair in sorted(backend.layer_pairs, key=lambda lp: lp[0]):
+            parts.append(f"{layer}={pair.name}")
+        return "|".join(parts)
+    if isinstance(backend, BNNBackend):
+        return f"BNN|first_a{backend.first_layer_activation_bits}"
+    return backend.name
+
+
+def calibration_key(calibration: Calibration) -> tuple:
+    """Hashable fingerprint of a calibration's fitted constants."""
+    parts = []
+    for f in dataclasses.fields(calibration):
+        value = getattr(calibration, f.name)
+        if isinstance(value, Mapping):
+            value = tuple(sorted(value.items()))
+        parts.append((f.name, value))
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one compiled plan and its priced total."""
+
+    model: str
+    backend: str
+    device: str
+    batch: int
+    input_shape: tuple[int, ...]
+    calibration: tuple
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Lookup counters since construction (or the last ``clear()``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledPlan` objects plus their priced totals.
+
+    ``get`` compiles through the supplied engine on a miss; ``total_us``
+    additionally memoizes the plan priced with the engine's own latency
+    model, which is the hot call of the dynamic batcher's sweep.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._plans: OrderedDict[PlanKey, tuple[CompiledPlan, float]] = (
+            OrderedDict()
+        )
+        # backend_key()/calibration_key() are rebuild-heavy and the
+        # batcher's sweep calls them per lookup; memoize per object (the
+        # strong ref pins the id).  Bounded and purged by clear().
+        self._fingerprints: dict[int, tuple[object, object]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...],
+    ) -> PlanKey:
+        return PlanKey(
+            model=engine.model.name,
+            backend=self._memo_key(engine.backend, backend_key),
+            device=engine.device.name,
+            batch=batch,
+            input_shape=tuple(input_shape),
+            calibration=self._memo_key(
+                engine.latency_model.calibration, calibration_key
+            ),
+        )
+
+    def _memo_key(self, obj, compute):
+        entry = self._fingerprints.get(id(obj))
+        if entry is None or entry[0] is not obj:
+            if len(self._fingerprints) >= 1024:
+                self._fingerprints.clear()
+            entry = (obj, compute(obj))
+            self._fingerprints[id(obj)] = entry
+        return entry[1]
+
+    def get(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...] = (3, 224, 224),
+    ) -> CompiledPlan:
+        """Cached compiled plan for (engine's model/backend/device, batch)."""
+        return self._lookup(engine, batch, input_shape)[0]
+
+    def total_us(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...] = (3, 224, 224),
+    ) -> float:
+        """Cached end-to-end modeled latency of the plan, in microseconds."""
+        return self._lookup(engine, batch, input_shape)[1]
+
+    def _lookup(self, engine, batch, input_shape):
+        key = self.key_for(engine, batch, input_shape)
+        entry = self._plans.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._plans.move_to_end(key)
+            return entry
+        self._misses += 1
+        plan = engine.compile(batch, input_shape)
+        total = plan.price(engine.latency_model).total_us
+        self._plans[key] = (plan, total)
+        if len(self._plans) > self.max_entries:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+        return plan, total
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._plans),
+        )
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._fingerprints.clear()
+        self._hits = self._misses = self._evictions = 0

@@ -1,0 +1,332 @@
+"""Asyncio inference server: submit requests, get cost-modeled latencies.
+
+The server front-ends the repo's analytical stack the way a real serving
+binary front-ends a GPU fleet: clients ``await submit(model)``; worker
+loops -- one per (backend, device) pair -- coalesce queued requests into
+batches sized by the :class:`~repro.serve.batcher.DynamicBatcher`,
+"execute" them by pricing a plan-cache-backed
+:class:`~repro.nn.engine.CompiledPlan`, and resolve each request with its
+simulated latency.
+
+Time accounting is discrete-event on a simulated clock: each worker
+carries a ``sim_free_at_us`` watermark; when it frees up (or the queue
+head arrives, whichever is later) it coalesces only the requests that
+have *arrived by that simulated instant* -- never future arrivals an
+unscaled replay may already have enqueued -- and occupies itself for the
+modeled batch latency.  Per-request latency is therefore queue wait plus
+batch service, in the same microseconds the paper's tables use.
+``time_scale`` (real seconds per simulated microsecond) optionally slows
+the event loop down to interleave like real traffic; the default of 0
+runs as fast as asyncio can schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..nn.engine import InferenceEngine
+from ..nn.module import Sequential
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..tensorcore.device import DeviceSpec
+from .batcher import DEFAULT_CANDIDATE_BATCHES, DynamicBatcher
+from .metrics import ServerMetrics
+from .plan_cache import PlanCache
+
+__all__ = ["ServedModel", "RequestResult", "InferenceServer"]
+
+DEFAULT_INPUT_SHAPE = (3, 224, 224)
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One deployable model plus the input geometry it expects."""
+
+    model: Sequential
+    input_shape: tuple[int, int, int] = DEFAULT_INPUT_SHAPE
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome of one served request, all times in simulated microseconds."""
+
+    request_id: int
+    model: str
+    worker: str
+    batch_size: int      #: batch the plan was compiled for
+    batch_requests: int  #: requests actually coalesced
+    arrival_us: float
+    start_us: float
+    finish_us: float
+
+    @property
+    def wait_us(self) -> float:
+        return self.start_us - self.arrival_us
+
+    @property
+    def service_us(self) -> float:
+        return self.finish_us - self.start_us
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1000.0
+
+
+@dataclass
+class _PendingRequest:
+    request_id: int
+    model: str
+    arrival_us: float
+    future: asyncio.Future = field(repr=False)
+
+
+class InferenceServer:
+    """Dispatches submitted requests across backend/device worker pairs.
+
+    Parameters
+    ----------
+    models:
+        name -> :class:`ServedModel` (or bare :class:`Sequential`, served
+        at the default 3x224x224 geometry).
+    workers:
+        ``(backend, device)`` pairs; each becomes one worker loop with its
+        own simulated clock.  Backends are the engine's
+        (:class:`~repro.nn.engine.APNNBackend` /
+        :class:`~repro.nn.engine.BNNBackend` /
+        :class:`~repro.nn.engine.LibraryBackend`).
+    slo_ms:
+        Latency objective handed to the dynamic batcher.
+    time_scale:
+        Real seconds slept per simulated microsecond of batch service
+        (0 = don't sleep, just yield).
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, ServedModel | Sequential],
+        workers: Sequence[tuple[object, DeviceSpec]],
+        *,
+        slo_ms: float = 5.0,
+        candidate_batches: Sequence[int] = DEFAULT_CANDIDATE_BATCHES,
+        plan_cache: PlanCache | None = None,
+        time_scale: float = 0.0,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        if not models:
+            raise ValueError("server needs at least one model")
+        if not workers:
+            raise ValueError("server needs at least one (backend, device)")
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self.models: dict[str, ServedModel] = {
+            name: m if isinstance(m, ServedModel) else ServedModel(m)
+            for name, m in models.items()
+        }
+        self.batcher = DynamicBatcher(slo_ms, candidate_batches)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.metrics = ServerMetrics()
+        self.time_scale = time_scale
+
+        self._worker_specs: list[tuple[str, object, DeviceSpec]] = []
+        seen: dict[str, int] = {}
+        for backend, device in workers:
+            base = f"{backend.name}@{device.name}"
+            seen[base] = seen.get(base, 0) + 1
+            name = base if seen[base] == 1 else f"{base}#{seen[base]}"
+            self._worker_specs.append((name, backend, device))
+
+        # One engine per (model, worker): planning state (fused groups,
+        # latency model) is reusable across requests.
+        self._engines: dict[tuple[str, str], InferenceEngine] = {}
+        for model_name, served in self.models.items():
+            for wname, backend, device in self._worker_specs:
+                self._engines[(model_name, wname)] = InferenceEngine(
+                    served.model, backend, device, calibration=calibration
+                )
+
+        self._queues: dict[str, deque[_PendingRequest]] = {
+            name: deque() for name in self.models
+        }
+        self._cond: asyncio.Condition | None = None
+        self._stopped: asyncio.Event | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self._ids = itertools.count()
+        self._sim_now_us = 0.0
+        self._last_finish_us = 0.0
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    async def submit(
+        self, model: str, arrival_us: float | None = None
+    ) -> RequestResult:
+        """Enqueue one request and await its simulated completion."""
+        if model not in self.models:
+            raise KeyError(
+                f"unknown model {model!r}; served: {sorted(self.models)}"
+            )
+        cond = self._require_started()
+        req = _PendingRequest(
+            request_id=next(self._ids),
+            model=model,
+            arrival_us=(
+                arrival_us if arrival_us is not None else self._sim_now_us
+            ),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._sim_now_us = max(self._sim_now_us, req.arrival_us)
+        async with cond:
+            # Re-check under the lock: a stop() that completed while we
+            # awaited it would leave this request queued forever.
+            if not self._running:
+                raise RuntimeError("server is stopped; no worker will serve")
+            self._queues[model].append(req)
+            cond.notify_all()
+        return await req.future
+
+    async def start(self) -> None:
+        """Spawn the worker loops (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._cond = asyncio.Condition()
+        self._stopped = asyncio.Event()
+        self.metrics.mark_autotune_baseline()
+        self._tasks = [
+            asyncio.create_task(
+                self._worker_loop(name, backend, device),
+                name=f"serve-{name}",
+            )
+            for name, backend, device in self._worker_specs
+        ]
+
+    async def stop(self) -> None:
+        """Drain the queues, then stop the workers."""
+        if not self._running:
+            return
+        self._running = False
+        async with self._cond:
+            self._cond.notify_all()
+        await asyncio.gather(*self._tasks)
+        self._tasks = []
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called from another task."""
+        await self.start()
+        await self._stopped.wait()
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def sim_duration_us(self) -> float:
+        """Simulated time from first arrival to last batch completion."""
+        return self._last_finish_us
+
+    def _require_started(self) -> asyncio.Condition:
+        if self._cond is None or not self._running:
+            raise RuntimeError(
+                "server not running; call await server.start() first"
+            )
+        return self._cond
+
+    # ------------------------------------------------------------------
+    # worker loops
+    # ------------------------------------------------------------------
+    def _price_fn(self, model: str, worker: str):
+        engine = self._engines[(model, worker)]
+        shape = self.models[model].input_shape
+        return lambda batch: self.plan_cache.total_us(engine, batch, shape)
+
+    async def _worker_loop(self, name: str, backend, device) -> None:
+        cond = self._cond
+        sim_free_at_us = 0.0
+        while True:
+            async with cond:
+                while self._running and self.queue_depth == 0:
+                    await cond.wait()
+                if not self._running and self.queue_depth == 0:
+                    return
+                # Earliest head arrival first (deeper queue breaks ties):
+                # batches stay homogeneous per model and no request is
+                # served after a later-arriving one from another queue.
+                model = min(
+                    (m for m, q in self._queues.items() if q),
+                    key=lambda m: (
+                        self._queues[m][0].arrival_us, -len(self._queues[m])
+                    ),
+                )
+                queue = self._queues[model]
+                # Non-clairvoyant dispatch: when the worker frees up (or
+                # the head arrives, if later) it can only see requests
+                # that have arrived by that simulated instant -- even if
+                # an unscaled replay has already enqueued the future.
+                now_us = max(sim_free_at_us, queue[0].arrival_us)
+                depth = 0
+                for r in queue:
+                    if r.arrival_us > now_us:
+                        break
+                    depth += 1
+                try:
+                    decision = self.batcher.choose(
+                        depth, self._price_fn(model, name)
+                    )
+                except Exception as exc:
+                    # Planning/pricing failed (e.g. a model/input-shape
+                    # mismatch surfacing at compile time).  Fail the
+                    # visible requests' futures instead of killing the
+                    # worker and hanging every submit() forever.
+                    for r in [queue.popleft() for _ in range(depth)]:
+                        if not r.future.done():
+                            r.future.set_exception(exc)
+                    continue
+                take = min(decision.batch_size, depth)
+                batch = [queue.popleft() for _ in range(take)]
+
+            start_us = now_us
+            finish_us = start_us + decision.expected_latency_us
+            sim_free_at_us = finish_us
+            self._sim_now_us = max(self._sim_now_us, finish_us)
+            self._last_finish_us = max(self._last_finish_us, finish_us)
+
+            # Occupy the (scaled) event loop for the modeled service time
+            # so concurrent workers interleave like real executors.
+            await asyncio.sleep(
+                decision.expected_latency_us * self.time_scale
+            )
+
+            results = [
+                RequestResult(
+                    request_id=r.request_id,
+                    model=r.model,
+                    worker=name,
+                    batch_size=decision.batch_size,
+                    batch_requests=len(batch),
+                    arrival_us=r.arrival_us,
+                    start_us=start_us,
+                    finish_us=finish_us,
+                )
+                for r in batch
+            ]
+            self.metrics.record_batch(
+                name,
+                batch_size=decision.batch_size,
+                requests=len(batch),
+                queue_depth=depth,
+                service_us=decision.expected_latency_us,
+                request_latencies_us=[res.latency_us for res in results],
+                meets_slo=decision.meets_slo,
+            )
+            for r, res in zip(batch, results):
+                if not r.future.done():
+                    r.future.set_result(res)

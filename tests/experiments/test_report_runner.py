@@ -56,13 +56,32 @@ class TestRunner:
         expected = {
             "table1", "table2", "table3", "table4",
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "ablations",
+            "fig12", "ablations", "serving",
         }
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("fig99")
+
+    def test_run_serving(self):
+        report = run_experiment("serving")
+        assert "SLO" in report
+        assert "APNN-w1a2" in report
+        assert "batch" in report
+
+    def test_cli_unknown_experiment_exits_nonzero(self, capsys):
+        rc = main(["--only", "fig99"])
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig99" in err
+        assert "table4" in err  # lists what IS available
+
+    def test_cli_unknown_mixed_with_known_runs_nothing(self, capsys, tmp_path):
+        rc = main(["--only", "table4", "nope", "--out", str(tmp_path)])
+        assert rc != 0
+        assert not (tmp_path / "table4.md").exists()
 
     def test_run_table4(self):
         report = run_experiment("table4")

@@ -182,3 +182,46 @@ class TestAutotune:
         res = autotune(256, 256, 1, 1, tiny)
         # 128x128 double-buffered tiles exceed 16 KB block smem -> excluded
         assert res.config.smem_bytes() <= 16 * 1024
+
+
+class TestAutotuneCacheStats:
+    """Cache counters surfaced for the serving metrics layer."""
+
+    def test_hit_miss_accounting(self):
+        from repro.kernels import cache_stats, clear_cache
+
+        clear_cache()
+        assert cache_stats().lookups == 0
+        assert cache_stats().hit_rate == 0.0
+        autotune(640, 64, 1, 2, RTX3090)
+        autotune(640, 64, 1, 2, RTX3090)
+        stats = cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.entries == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_distinct_problems_are_distinct_entries(self):
+        from repro.kernels import cache_stats, clear_cache
+
+        clear_cache()
+        autotune(640, 64, 1, 2, RTX3090)
+        autotune(640, 64, 1, 2, A100)
+        autotune(640, 128, 1, 2, RTX3090)
+        assert cache_stats().entries == 3
+
+    def test_unregistered_device_bypasses_cache(self):
+        from repro.kernels import cache_stats, clear_cache
+
+        clear_cache()
+        tiny = DeviceSpec(
+            name="tiny2", sm_count=4, clock_ghz=1.0, dram_bandwidth_gbs=100,
+            shared_mem_per_sm_bytes=32 * 1024,
+            max_shared_mem_per_block_bytes=16 * 1024,
+            register_file_per_sm_bytes=64 * 1024, max_warps_per_sm=16,
+            max_blocks_per_sm=4,
+            peak_tops={"int1": 8, "int4": 4, "int8": 2, "fp16": 1, "fp32": 0.5},
+            launch_overhead_us=1.0,
+        )
+        autotune(256, 256, 1, 1, tiny)
+        assert cache_stats().lookups == 0

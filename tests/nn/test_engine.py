@@ -88,6 +88,45 @@ class TestEstimate(object):
         assert fracs[0][1] > 0.25
 
 
+class TestCompile:
+    """CompiledPlan: planning/pricing split introduced for the serve layer."""
+
+    def test_compile_then_price_equals_estimate(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        plan = eng.compile(8)
+        fresh = eng.estimate(8)
+        priced = plan.price(eng.latency_model)
+        assert priced.total_us == pytest.approx(fresh.total_us, rel=1e-12)
+        assert [g.name for g in priced.groups] == [g.name for g in fresh.groups]
+
+    def test_plan_metadata(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        plan = eng.compile(8)
+        assert plan.model_name == small_alexnet.name
+        assert plan.backend_name == "APNN-w1a2"
+        assert plan.device_name == eng.device.name
+        assert plan.batch == 8
+        assert plan.input_shape == (3, 224, 224)
+        assert plan.dataflow is not None
+        assert plan.kernel_launches >= len(plan.groups)
+
+    def test_plan_reprices_on_other_device(self, small_alexnet):
+        """One plan's counted work can be priced under any latency model."""
+        from repro.perf import LatencyModel
+        from repro.tensorcore import A100
+
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        plan = eng.compile(8)
+        here = plan.price(eng.latency_model).total_us
+        there = plan.price(LatencyModel(A100)).total_us
+        assert here != there
+
+    def test_compile_validates_batch(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        with pytest.raises(ValueError):
+            eng.compile(0)
+
+
 class TestBackendOrdering:
     """Table 2's who-beats-whom shape on every model."""
 

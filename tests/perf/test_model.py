@@ -199,3 +199,43 @@ class TestPaperAnchors:
             return model.latency_us(i8) / model.latency_us(ap)
 
         assert ratio(ma100, A100) > 1.5 * ratio(m3090, RTX3090)
+
+
+class TestBatchSizeSweep:
+    """The serving layer's batch sweep helper."""
+
+    def test_points_sorted_and_priced(self):
+        from repro.perf import batch_size_sweep
+
+        sweep = batch_size_sweep(lambda b: 10.0 + b, [8, 1, 4])
+        assert [p.batch for p in sweep] == [1, 4, 8]
+        assert [p.latency_us for p in sweep] == [11.0, 14.0, 18.0]
+
+    def test_throughput_property(self):
+        from repro.perf import batch_size_sweep
+
+        (point,) = batch_size_sweep(lambda b: 500.0, [16])
+        assert point.throughput_rps == pytest.approx(16 / 500e-6)
+        assert point.latency_ms == pytest.approx(0.5)
+
+    def test_amortization_shape_on_real_costs(self, model):
+        """Launch overhead amortizes: per-request latency falls with batch."""
+        from repro.perf import batch_size_sweep
+
+        def price(batch):
+            return model.latency_us(_apmm_cost(1024, batch, 1024, 1, 2))
+
+        sweep = batch_size_sweep(price, [1, 8, 64])
+        per_req = [p.latency_us / p.batch for p in sweep]
+        assert per_req[0] > per_req[1] > per_req[2]
+        assert sweep[0].throughput_rps < sweep[-1].throughput_rps
+
+    def test_validation(self):
+        from repro.perf import batch_size_sweep
+
+        with pytest.raises(ValueError):
+            batch_size_sweep(lambda b: 1.0, [])
+        with pytest.raises(ValueError):
+            batch_size_sweep(lambda b: 1.0, [0])
+        with pytest.raises(ValueError):
+            batch_size_sweep(lambda b: 0.0, [1])

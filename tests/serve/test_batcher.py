@@ -1,0 +1,79 @@
+"""Dynamic batcher: SLO feasibility, throughput ranking, queue capping."""
+
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend, InferenceEngine, alexnet
+from repro.serve import DynamicBatcher, PlanCache
+
+SHAPE = (3, 64, 64)
+
+
+@pytest.fixture(scope="module")
+def price_us():
+    """Plan-cache-backed pricing of a small AlexNet on APNN-w1a2."""
+    engine = InferenceEngine(
+        alexnet(num_classes=10, input_size=64),
+        APNNBackend(PrecisionPair.parse("w1a2")),
+    )
+    cache = PlanCache()
+    return lambda batch: cache.total_us(engine, batch, SHAPE)
+
+
+class TestEligibleBatches:
+    def test_rounds_up_to_next_candidate(self):
+        b = DynamicBatcher(slo_ms=1.0, candidate_batches=(1, 4, 16, 64))
+        assert b.eligible_batches(5) == (1, 4, 16)
+        assert b.eligible_batches(16) == (1, 4, 16, 64)
+        assert b.eligible_batches(200) == (1, 4, 16, 64)
+
+    def test_empty_queue_treated_as_one(self):
+        b = DynamicBatcher(slo_ms=1.0, candidate_batches=(2, 8))
+        assert b.eligible_batches(0) == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(slo_ms=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(slo_ms=1.0, candidate_batches=(0, 4))
+        with pytest.raises(ValueError):
+            DynamicBatcher(slo_ms=1.0, candidate_batches=())
+
+
+class TestChoose:
+    def test_loose_slo_batches_bigger_than_tight(self, price_us):
+        tight = DynamicBatcher(slo_ms=0.08).choose(256, price_us)
+        loose = DynamicBatcher(slo_ms=50.0).choose(256, price_us)
+        assert loose.batch_size > tight.batch_size
+        assert tight.meets_slo and loose.meets_slo
+        assert tight.expected_latency_us <= 80.0
+
+    def test_infeasible_slo_minimizes_latency(self, price_us):
+        decision = DynamicBatcher(slo_ms=0.001).choose(256, price_us)
+        assert not decision.meets_slo
+        assert decision.batch_size == min(p.batch for p in decision.sweep)
+        assert decision.expected_latency_us == min(
+            p.latency_us for p in decision.sweep
+        )
+
+    def test_never_overbatches_a_shallow_queue(self, price_us):
+        decision = DynamicBatcher(slo_ms=50.0).choose(3, price_us)
+        assert decision.batch_size <= 4
+
+    def test_effective_throughput_counts_real_requests(self, price_us):
+        """A full batch-64 beats a half-full batch-128 plan."""
+        decision = DynamicBatcher(slo_ms=50.0).choose(64, price_us)
+        assert decision.batch_size == 64
+
+    def test_sweep_attached_and_sorted(self, price_us):
+        decision = DynamicBatcher(slo_ms=1.0).choose(32, price_us)
+        batches = [p.batch for p in decision.sweep]
+        assert batches == sorted(batches)
+        assert decision.expected_latency_ms == pytest.approx(
+            decision.expected_latency_us / 1000.0
+        )
+
+    def test_latency_monotone_in_batch(self, price_us):
+        sweep = DynamicBatcher(slo_ms=50.0).choose(128, price_us).sweep
+        lats = [p.latency_us for p in sweep]
+        assert lats == sorted(lats)

@@ -1,0 +1,109 @@
+"""Metrics layer: percentile math, aggregation, report rendering."""
+
+import pytest
+
+from repro.serve import ServerMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_p95(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestServerMetrics:
+    def _record(self, m, worker="APNN@RTX3090", **kw):
+        defaults = dict(
+            batch_size=8,
+            requests=6,
+            queue_depth=10,
+            service_us=100.0,
+            request_latencies_us=[100.0] * 6,
+            meets_slo=True,
+        )
+        defaults.update(kw)
+        m.record_batch(worker, **defaults)
+
+    def test_aggregation(self):
+        m = ServerMetrics()
+        self._record(m)
+        self._record(m, batch_size=16, requests=16,
+                     request_latencies_us=[200.0] * 16, meets_slo=False)
+        w = m.workers["APNN@RTX3090"]
+        assert w.requests == 22
+        assert w.batches == 2
+        assert w.slo_misses == 1
+        assert w.mean_occupancy == pytest.approx((6 / 8 + 1.0) / 2)
+        assert w.mean_queue_depth == pytest.approx(10.0)
+        assert m.total_requests == 22
+        assert m.total_batches == 2
+
+    def test_percentiles_over_requests(self):
+        m = ServerMetrics()
+        self._record(m, request_latencies_us=[100.0, 200.0, 300.0, 400.0],
+                     requests=4)
+        w = m.workers["APNN@RTX3090"]
+        assert w.p50_latency_us == pytest.approx(250.0)
+        assert w.p95_latency_us > w.p50_latency_us
+
+    def test_simulated_throughput(self):
+        m = ServerMetrics()
+        self._record(m, requests=10, service_us=1000.0,
+                     request_latencies_us=[1000.0] * 10)
+        w = m.workers["APNN@RTX3090"]
+        assert w.simulated_throughput_rps == pytest.approx(10 / 1e-3)
+
+    def test_batch_size_histogram(self):
+        m = ServerMetrics()
+        self._record(m, batch_size=8)
+        self._record(m, batch_size=8)
+        self._record(m, batch_size=32, worker="BNN@A100")
+        assert m.batch_size_histogram() == {8: 2, 32: 1}
+
+    def test_report_mentions_workers_and_caches(self):
+        m = ServerMetrics()
+        self._record(m)
+        report = m.report()
+        assert "APNN@RTX3090" in report
+        assert "autotune cache" in report
+        assert "p95" in report
+
+    def test_report_with_plan_cache(self):
+        from repro.serve import PlanCache
+
+        m = ServerMetrics()
+        report = m.report(PlanCache())
+        assert "plan cache" in report
+
+    def test_autotune_baseline_reports_delta(self):
+        from repro.kernels import autotune, clear_cache
+        from repro.tensorcore import RTX3090
+
+        clear_cache()
+        autotune(320, 64, 1, 2, RTX3090)  # pre-server noise
+        m = ServerMetrics()
+        m.mark_autotune_baseline()
+        assert m.autotune_stats().lookups == 0  # noise excluded
+        autotune(320, 128, 1, 2, RTX3090)
+        autotune(320, 128, 1, 2, RTX3090)
+        stats = m.autotune_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert "since start" in m.report()

@@ -1,0 +1,37 @@
+"""The benchmark helpers honor REPRO_RESULTS_DIR (satellite of the serve PR)."""
+
+import importlib.util
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_helpers():
+    spec = importlib.util.spec_from_file_location(
+        "bench_helpers", REPO / "benchmarks" / "_helpers.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_default_results_dir(monkeypatch):
+    helpers = _load_helpers()
+    monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+    assert helpers.results_dir() == REPO / "results"
+
+
+def test_env_override_read_at_call_time(monkeypatch, tmp_path):
+    helpers = _load_helpers()
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+    assert helpers.results_dir() == tmp_path / "out"
+
+
+def test_save_and_print_writes_to_override(monkeypatch, tmp_path, capsys):
+    helpers = _load_helpers()
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "reports"))
+    helpers.save_and_print("sample", "hello report")
+    written = tmp_path / "reports" / "sample.md"
+    assert written.read_text() == "hello report\n"
+    assert "hello report" in capsys.readouterr().out

@@ -44,6 +44,14 @@ def test_kernel_fusion_study():
     assert "speedup" in out
 
 
+def test_serving_demo():
+    out = _run("serving_demo.py")
+    assert "batch sizes vary with SLO: OK" in out
+    assert "plan-cache hit rate" in out
+    assert "APNN-w1a2@RTX3090" in out
+    assert "CUTLASS-INT8-TC@A100" in out
+
+
 @pytest.mark.slow
 def test_image_classification_small():
     out = _run("image_classification.py", "--small")
