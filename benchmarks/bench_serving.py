@@ -13,9 +13,11 @@ import asyncio
 from repro.core import PrecisionPair
 from repro.nn import APNNBackend, BNNBackend, alexnet, resnet18
 from repro.serve import (
+    DISCIPLINES,
     InferenceServer,
     PlanCache,
     ServedModel,
+    percentile,
     poisson_trace,
     replay,
 )
@@ -89,3 +91,72 @@ def test_serving_trace_load(benchmark):
         + f"\nsim duration    : {server.sim_duration_us / 1e3:.3f} ms"
     )
     save_and_print("serving_load", report)
+
+
+# ----------------------------------------------------------------------
+# queue disciplines head-to-head on one seeded overload trace
+# ----------------------------------------------------------------------
+# The workload is the `scheduling` experiment's, imported so this
+# benchmark and figures.scheduling_study never drift apart.
+from repro.experiments.figures import (  # noqa: E402
+    SCHEDULING_DEFAULT_PAIR,
+    SCHEDULING_NUM_REQUESTS,
+    SCHEDULING_RATE_RPS,
+    scheduling_models,
+    scheduling_trace,
+)
+
+
+def _serve_discipline(discipline: str, plan_cache: PlanCache, trace):
+    server = InferenceServer(
+        scheduling_models(),
+        workers=[
+            (APNNBackend(PrecisionPair.parse(SCHEDULING_DEFAULT_PAIR)), RTX3090)
+        ],
+        slo_ms=5.0,
+        candidate_batches=(1, 2, 4, 8, 16),
+        plan_cache=plan_cache,
+        discipline=discipline,
+    )
+
+    async def run():
+        await server.start()
+        results = await replay(server, trace)
+        await server.stop()
+        return server, results
+
+    return asyncio.run(run())
+
+
+def test_scheduling_disciplines(benchmark):
+    """FIFO vs EDF vs WFQ over the same overload trace; EDF must cut
+    deadline misses.  The benchmark times one full EDF replay."""
+    plan_cache = PlanCache()
+    trace = scheduling_trace()
+    rows = {}
+    for name in sorted(DISCIPLINES):
+        server, results = _serve_discipline(name, plan_cache, trace)
+        assert len(results) == SCHEDULING_NUM_REQUESTS
+        rows[name] = (
+            server.metrics.total_deadline_misses,
+            percentile([r.latency_us for r in results], 95) / 1e3,
+        )
+
+    server, results = benchmark.pedantic(
+        lambda: _serve_discipline("edf", plan_cache, trace),
+        rounds=3, iterations=1,
+    )
+    assert len(results) == SCHEDULING_NUM_REQUESTS
+    assert rows["edf"][0] < rows["fifo"][0]  # EDF lowers SLO violations
+
+    lines = [
+        f"Scheduling disciplines: {SCHEDULING_NUM_REQUESTS} requests, "
+        f"Poisson {SCHEDULING_RATE_RPS:.0f} rps, "
+        f"one APNN-{SCHEDULING_DEFAULT_PAIR} worker",
+        "",
+        "| discipline | deadline misses | p95 ms |",
+        "|------------|-----------------|--------|",
+    ]
+    for name, (misses, p95) in sorted(rows.items()):
+        lines.append(f"| {name} | {misses} | {p95:.3f} |")
+    save_and_print("serving_scheduling", "\n".join(lines))

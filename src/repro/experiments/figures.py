@@ -48,6 +48,9 @@ __all__ = [
     "table4_fc_latency",
     "ablation_design_choices",
     "serving_throughput_vs_slo",
+    "scheduling_models",
+    "scheduling_study",
+    "scheduling_trace",
 ]
 
 GEMM_SIZES = tuple(range(128, 1025, 128))
@@ -535,3 +538,181 @@ def serving_throughput_vs_slo(
                 }
             )
     return rows
+
+
+# ----------------------------------------------------------------------
+# scheduling study
+# ----------------------------------------------------------------------
+#: The scheduling study's workload knobs, shared with its tests.
+SCHEDULING_SEED = 11
+SCHEDULING_NUM_REQUESTS = 160
+SCHEDULING_RATE_RPS = 300_000.0
+SCHEDULING_ADMISSION_CAP = 32
+SCHEDULING_SWITCH_DEPTH = 16
+SCHEDULING_TIGHT_SLO_MS = 0.4
+SCHEDULING_LOOSE_SLO_MS = 50.0
+#: Default precision of the study's single APNN worker, and the pair the
+#: autoswitcher degrades to under backlog.
+SCHEDULING_DEFAULT_PAIR = "w2a8"
+SCHEDULING_DEGRADED_PAIR = "w1a2"
+
+
+def scheduling_trace():
+    """The one seeded overload trace every scheduling row replays."""
+    from ..serve import poisson_trace
+
+    return poisson_trace(
+        SCHEDULING_RATE_RPS,
+        SCHEDULING_NUM_REQUESTS,
+        ["alexnet-tight", "resnet-loose"],
+        weights=[1.0, 1.0],
+        seed=SCHEDULING_SEED,
+    )
+
+
+def scheduling_models():
+    """The scheduling workload's two served models (tight + loose SLO).
+
+    The single source of that workload: the study, its tests, and
+    ``benchmarks/bench_serving.py`` all build from here so retuning the
+    SLOs cannot leave a consumer comparing a different workload.
+    """
+    from ..nn.models import alexnet, resnet18
+    from ..serve import ServedModel
+
+    return {
+        "alexnet-tight": ServedModel(
+            alexnet(num_classes=10, input_size=64), (3, 64, 64),
+            slo_ms=SCHEDULING_TIGHT_SLO_MS,
+        ),
+        "resnet-loose": ServedModel(
+            resnet18(num_classes=10, input_size=32), (3, 32, 32),
+            slo_ms=SCHEDULING_LOOSE_SLO_MS,
+        ),
+    }
+
+
+def _scheduling_server(plan_cache, **server_kw):
+    from ..serve import InferenceServer
+
+    return InferenceServer(
+        scheduling_models(),
+        [(APNNBackend(PrecisionPair.parse(SCHEDULING_DEFAULT_PAIR)), RTX3090)],
+        slo_ms=5.0,
+        candidate_batches=(1, 2, 4, 8, 16),
+        plan_cache=plan_cache,
+        **server_kw,
+    )
+
+
+def scheduling_study():
+    """Queue disciplines and load policies on one seeded overload trace.
+
+    Replays the same Poisson overload trace (two models: a 0.4 ms-SLO
+    AlexNet and a 50 ms-SLO ResNet, one APNN-w2a8 worker, deliberately
+    past the worker's service rate) under each scheduling configuration:
+
+    * ``fifo`` / ``edf`` / ``wfq`` -- the queue disciplines alone;
+    * ``fifo+shed`` / ``fifo+defer`` -- admission control at a queue cap;
+    * ``fifo+autoswitch`` -- precision degradation to w1a2 under backlog.
+
+    Returns ``{"rows": [...], "ladder": [...]}``: one row of serving
+    outcomes per configuration, plus the per-precision latency ladder
+    (:func:`repro.perf.precision_sweep`) that explains *why* the
+    autoswitcher's downgrade buys latency.  Everything runs on the
+    simulated clock, so rows are deterministic given the seed.
+    """
+    import asyncio
+
+    from ..perf.model import precision_sweep
+    from ..serve import (
+        AdmissionPolicy,
+        PlanCache,
+        PrecisionAutoswitcher,
+        percentile,
+        replay,
+    )
+
+    trace = scheduling_trace()
+    cache = PlanCache()
+
+    def run(scheme: str, **server_kw):
+        server = _scheduling_server(cache, **server_kw)
+
+        async def go():
+            await server.start()
+            results, rejections = await replay(
+                server, trace, include_rejections=True
+            )
+            await server.stop()
+            return results, rejections
+
+        results, rejections = asyncio.run(go())
+        m = server.metrics
+        latencies = [r.latency_us for r in results]
+        tight = [
+            r.latency_us for r in results if r.model == "alexnet-tight"
+        ]
+        return {
+            "scheme": scheme,
+            "served": len(results),
+            "rejected": m.total_rejected,
+            "deferred": m.total_deferred,
+            "max_queue_depth": m.max_queue_depth_seen,
+            "deadline_misses": m.total_deadline_misses,
+            "p95_ms": percentile(latencies, 95) / 1e3,
+            "tight_p95_ms": percentile(tight, 95) / 1e3,
+            "switch_rate": m.switch_rate,
+            "accuracy_delta": m.mean_accuracy_delta,
+        }
+
+    cap = SCHEDULING_ADMISSION_CAP
+    rows = [
+        run("fifo", discipline="fifo"),
+        run("edf", discipline="edf"),
+        run("wfq", discipline="wfq"),
+        run(
+            f"fifo+shed(cap={cap})",
+            discipline="fifo",
+            admission=AdmissionPolicy(max_queue_depth=cap, mode="shed"),
+        ),
+        run(
+            f"fifo+defer(cap={cap})",
+            discipline="fifo",
+            admission=AdmissionPolicy(max_queue_depth=cap, mode="defer"),
+        ),
+        run(
+            f"fifo+autoswitch(depth>={SCHEDULING_SWITCH_DEPTH})",
+            discipline="fifo",
+            autoswitch=PrecisionAutoswitcher.from_spec(
+                {SCHEDULING_SWITCH_DEPTH: SCHEDULING_DEGRADED_PAIR}
+            ),
+        ),
+    ]
+
+    # The precision ladder the autoswitcher walks: modeled batch-16
+    # latency of the tight model per wXaY pair, plan-cache priced.
+    from ..nn.models import alexnet
+
+    net = alexnet(num_classes=10, input_size=64)
+    engines: dict[str, InferenceEngine] = {}
+
+    def price(pair_name: str) -> float:
+        if pair_name not in engines:
+            engines[pair_name] = InferenceEngine(
+                net, APNNBackend(PrecisionPair.parse(pair_name)), RTX3090
+            )
+        return cache.total_us(engines[pair_name], 16, (3, 64, 64))
+
+    ladder = [
+        {
+            "pair": p.pair,
+            "plane_product": p.plane_product,
+            "latency_us": p.latency_us,
+        }
+        for p in precision_sweep(
+            price,
+            (SCHEDULING_DEGRADED_PAIR, "w1a4", "w2a2", SCHEDULING_DEFAULT_PAIR),
+        )
+    ]
+    return {"rows": rows, "ladder": ladder}

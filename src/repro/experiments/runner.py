@@ -157,6 +157,29 @@ def _render_serving():
     )
 
 
+def _render_scheduling():
+    data = figures.scheduling_study()
+    return (
+        "Scheduling - queue disciplines and load policies on one seeded "
+        "overload trace\n(two models: AlexNet at a 0.4 ms SLO, ResNet-18 "
+        "at 50 ms; one APNN-w2a8 worker)\n"
+        + format_rows(
+            data["rows"],
+            ["scheme", "served", "rejected", "deferred", "max_queue_depth",
+             "deadline_misses", "p95_ms", "tight_p95_ms", "switch_rate",
+             "accuracy_delta"],
+        )
+        + "\n\nAutoswitch precision ladder (AlexNet, batch 16, modeled)\n"
+        + format_rows(
+            data["ladder"], ["pair", "plane_product", "latency_us"]
+        )
+        + "\n\nEDF spends loose-SLO slack to save tight deadlines; the "
+        "admission cap\nbounds the queue (shed rejects, defer parks); the "
+        "autoswitcher trades\nmodeled Table-1 accuracy for the ladder's "
+        "latency drop under backlog."
+    )
+
+
 def _render_ablations():
     data = figures.ablation_design_choices()
     rows = [[k, v] for k, v in data.items()]
@@ -180,6 +203,7 @@ EXPERIMENTS = {
     "fig12": _render_fig12,
     "ablations": _render_ablations,
     "serving": _render_serving,
+    "scheduling": _render_scheduling,
 }
 
 

@@ -25,9 +25,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..tensorcore.counters import ExecutionCounters
-from ..kernels.tiling import TileConfig
+
+if TYPE_CHECKING:  # avoid the perf <-> kernels import cycle at runtime:
+    # kernels.__init__ pulls apconv/apmm which import this module, so a
+    # cold `import repro.perf` (or repro.serve) must not touch kernels.
+    from ..kernels.tiling import TileConfig
 
 __all__ = [
     "KernelCost",

@@ -39,6 +39,8 @@ __all__ = [
     "LatencyModel",
     "BatchSweepPoint",
     "batch_size_sweep",
+    "PrecisionSweepPoint",
+    "precision_sweep",
 ]
 
 
@@ -216,3 +218,56 @@ def batch_size_sweep(
     if not points:
         raise ValueError("batch_sizes must be non-empty")
     return tuple(sorted(points, key=lambda p: p.batch))
+
+
+# ----------------------------------------------------------------------
+# precision sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrecisionSweepPoint:
+    """Modeled latency of one candidate ``wXaY`` precision pair."""
+
+    pair: str
+    plane_product: int
+    latency_us: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1000.0
+
+
+def precision_sweep(
+    price_us: Callable[[str], float],
+    pairs: Iterable[str],
+) -> tuple[PrecisionSweepPoint, ...]:
+    """Price a model at each candidate ``wXaY`` precision pair.
+
+    ``price_us(pair_name)`` must return the modeled end-to-end latency in
+    microseconds at that precision -- typically a plan-cache-backed
+    pricing through a backend reconfigured to the pair.  This is the
+    precision axis of the paper's accuracy/latency dial (Table 1):
+    latency falls with the plane product ``X*Y``, which is what the
+    serving autoswitcher (:mod:`repro.serve.policies`) exploits under
+    load.  Points come back sorted by ascending plane product.
+    """
+    from ..core.types import PrecisionPair
+
+    points = []
+    for name in pairs:
+        pair = PrecisionPair.parse(name)
+        latency = price_us(pair.name)
+        if latency <= 0:
+            raise ValueError(
+                f"price_us({pair.name!r}) returned non-positive latency "
+                f"{latency}"
+            )
+        points.append(
+            PrecisionSweepPoint(
+                pair=pair.name,
+                plane_product=pair.plane_product,
+                latency_us=latency,
+            )
+        )
+    if not points:
+        raise ValueError("pairs must be non-empty")
+    return tuple(sorted(points, key=lambda p: (p.plane_product, p.pair)))

@@ -13,13 +13,21 @@ latency tables (Tables 2-4) toward serving live traffic:
 ``batcher``
     Dynamic batching: sweeps candidate batch sizes through the latency
     model and picks the one maximizing modeled throughput under an SLO.
+``scheduler``
+    Pluggable queue disciplines deciding which model a freed worker
+    serves next: FIFO (default), SLO-aware earliest-deadline-first, and
+    per-model weighted fair queueing.
+``policies``
+    Load management: admission control (shed/defer past a queue-depth
+    cap) and precision autoswitching (degrade ``wXaY`` under backlog,
+    trading modeled Table-1 accuracy for latency).
 ``server``
     Asyncio front end (``submit()`` / ``serve_forever()``) dispatching
     coalesced batches to worker loops across backends and devices on a
     simulated clock.
 ``metrics``
     Per-worker p50/p95 simulated latency, queue depth, batch occupancy,
-    and plan-/autotune-cache hit rates.
+    admission/autoswitch counters, and plan-/autotune-cache hit rates.
 ``trace``
     Poisson / burst load generators and a trace replayer.
 """
@@ -27,8 +35,30 @@ latency tables (Tables 2-4) toward serving live traffic:
 from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
 from .metrics import ServerMetrics, WorkerMetrics, percentile
 from .plan_cache import PlanCache, PlanCacheStats, PlanKey, backend_key
+from .policies import (
+    AdmissionPolicy,
+    AdmissionRejected,
+    PrecisionAutoswitcher,
+    accuracy_delta,
+    modeled_accuracy,
+)
+from .scheduler import (
+    DISCIPLINES,
+    EDFDiscipline,
+    FIFODiscipline,
+    QueueDiscipline,
+    QueueSnapshot,
+    WFQDiscipline,
+    make_discipline,
+)
 from .server import InferenceServer, RequestResult, ServedModel
-from .trace import TraceEvent, burst_trace, poisson_trace, replay
+from .trace import (
+    RejectedRequest,
+    TraceEvent,
+    burst_trace,
+    poisson_trace,
+    replay,
+)
 
 __all__ = [
     "PlanKey",
@@ -41,10 +71,23 @@ __all__ = [
     "ServerMetrics",
     "WorkerMetrics",
     "percentile",
+    "QueueDiscipline",
+    "QueueSnapshot",
+    "FIFODiscipline",
+    "EDFDiscipline",
+    "WFQDiscipline",
+    "DISCIPLINES",
+    "make_discipline",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "PrecisionAutoswitcher",
+    "modeled_accuracy",
+    "accuracy_delta",
     "InferenceServer",
     "RequestResult",
     "ServedModel",
     "TraceEvent",
+    "RejectedRequest",
     "poisson_trace",
     "burst_trace",
     "replay",

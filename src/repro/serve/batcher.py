@@ -80,15 +80,23 @@ class DynamicBatcher:
         self,
         queue_depth: int,
         price_us: Callable[[int], float],
+        *,
+        slo_ms: float | None = None,
     ) -> BatchDecision:
         """Decide the batch size for the current queue.
 
         ``price_us(batch)`` returns modeled whole-model latency in
         microseconds (see :func:`repro.perf.batch_size_sweep`).
+        ``slo_ms`` overrides the batcher-wide SLO for this decision --
+        the scheduler passes each model's own objective
+        (``ServedModel.slo_ms``) so mixed-SLO deployments batch each
+        model against the deadline its clients actually hold.
         """
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         depth = max(1, queue_depth)
         sweep = batch_size_sweep(price_us, self.eligible_batches(depth))
-        slo_us = self.slo_ms * 1000.0
+        slo_us = (self.slo_ms if slo_ms is None else slo_ms) * 1000.0
 
         def effective_rps(p: BatchSweepPoint) -> float:
             return min(depth, p.batch) / (p.latency_us * 1e-6)

@@ -13,6 +13,10 @@ The registry aggregates:
 * per-worker p50/p95 of the simulated per-request latency (queue wait +
   batch service, over a sliding window of the most recent requests so a
   long-running server's memory stays bounded) and SLO miss counts;
+* scheduler policy counters: per-model admission rejections and
+  deferrals, the high-water queue depth, per-request deadline misses
+  (finish past arrival + SLO), and precision-autoswitch activity
+  (switched batches, switch rate, mean modeled accuracy given up);
 * plan-cache and autotune-cache hit rates, pulled in at report time.
 """
 
@@ -62,6 +66,9 @@ class WorkerMetrics:
     requests: int = 0
     batches: int = 0
     slo_misses: int = 0
+    deadline_misses: int = 0
+    switched_batches: int = 0
+    accuracy_delta_sum: float = 0.0
     occupancy_sum: float = 0.0
     queue_depth_sum: int = 0
     service_us_sum: float = 0.0
@@ -105,7 +112,34 @@ class ServerMetrics:
 
     def __init__(self) -> None:
         self.workers: dict[str, WorkerMetrics] = {}
+        self.rejected: dict[str, int] = {}
+        self.deferred: dict[str, int] = {}
+        self.max_queue_depth_seen: int = 0
         self._autotune_baseline: AutotuneCacheStats | None = None
+
+    # ------------------------------------------------------------------
+    # admission / queue counters (server-level, keyed by model)
+    # ------------------------------------------------------------------
+    def record_rejection(self, model: str) -> None:
+        """One request shed by the admission policy."""
+        self.rejected[model] = self.rejected.get(model, 0) + 1
+
+    def record_deferral(self, model: str) -> None:
+        """One request parked by the admission policy's defer mode."""
+        self.deferred[model] = self.deferred.get(model, 0) + 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of the admitted queue."""
+        if depth > self.max_queue_depth_seen:
+            self.max_queue_depth_seen = depth
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejected.values())
+
+    @property
+    def total_deferred(self) -> int:
+        return sum(self.deferred.values())
 
     def mark_autotune_baseline(self) -> None:
         """Snapshot the global autotune counters as this server's zero."""
@@ -138,6 +172,9 @@ class ServerMetrics:
         service_us: float,
         request_latencies_us: list[float],
         meets_slo: bool,
+        deadline_misses: int = 0,
+        switched: bool = False,
+        accuracy_delta: float = 0.0,
     ) -> None:
         w = self.worker(worker)
         w.batches += 1
@@ -149,6 +186,10 @@ class ServerMetrics:
         w.request_latencies_us.extend(request_latencies_us)
         if not meets_slo:
             w.slo_misses += 1
+        w.deadline_misses += deadline_misses
+        if switched:
+            w.switched_batches += 1
+            w.accuracy_delta_sum += accuracy_delta
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +199,29 @@ class ServerMetrics:
     @property
     def total_batches(self) -> int:
         return sum(w.batches for w in self.workers.values())
+
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(w.deadline_misses for w in self.workers.values())
+
+    @property
+    def total_switched_batches(self) -> int:
+        return sum(w.switched_batches for w in self.workers.values())
+
+    @property
+    def switch_rate(self) -> float:
+        """Fraction of dispatched batches served at a downgraded pair."""
+        batches = self.total_batches
+        return self.total_switched_batches / batches if batches else 0.0
+
+    @property
+    def mean_accuracy_delta(self) -> float:
+        """Mean modeled accuracy given up per *switched* batch."""
+        switched = self.total_switched_batches
+        if not switched:
+            return 0.0
+        total = sum(w.accuracy_delta_sum for w in self.workers.values())
+        return total / switched
 
     def batch_size_histogram(self) -> dict[int, int]:
         hist: dict[int, int] = {}
@@ -176,6 +240,18 @@ class ServerMetrics:
                 f"{b}x{n}" for b, n in self.batch_size_histogram().items()
             ) or "-"),
         ]
+        lines.append(
+            f"admission       : rejected {self.total_rejected}, "
+            f"deferred {self.total_deferred}, "
+            f"max queue depth {self.max_queue_depth_seen}"
+        )
+        lines.append(
+            f"autoswitch      : {self.total_switched_batches}/"
+            f"{self.total_batches} batches switched "
+            f"(rate {self.switch_rate:.3f}), "
+            f"mean accuracy delta {self.mean_accuracy_delta:.4f}"
+        )
+        lines.append(f"deadline misses : {self.total_deadline_misses}")
         for name in sorted(self.workers):
             w = self.workers[name]
             lines.append(

@@ -1,0 +1,189 @@
+"""Load-management policies: admission control and precision autoswitching.
+
+Two runtime policies turn the paper's accuracy/latency dial (Table 1:
+more bit-planes, more accuracy, more latency) into serving behavior
+under load:
+
+* :class:`AdmissionPolicy` bounds the queue.  When even a batch-1
+  dispatch cannot meet the SLO the queue only grows, so past a
+  configured depth the server either **sheds** the request (the
+  ``submit`` coroutine raises :class:`AdmissionRejected` immediately)
+  or **defers** it (parks it outside the queue and admits it once the
+  backlog drains below the cap -- the request keeps its original
+  arrival stamp, so the extra wait shows up honestly in its latency).
+* :class:`PrecisionAutoswitcher` degrades a request batch's ``wXaY``
+  pair when the queue crosses depth thresholds -- e.g. ``w2a8`` traffic
+  served at ``w1a2`` under backlog.  Every 1-bit BMMA pass the pair
+  drops makes the batch cheaper through the very same cost model the
+  batcher prices with, and the modeled accuracy given up is reported
+  per switch (:func:`modeled_accuracy`).
+
+Both policies are plain frozen dataclasses evaluated on the simulated
+clock, so scheduler tests can assert their behavior deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.types import PrecisionPair
+
+__all__ = [
+    "AdmissionRejected",
+    "AdmissionPolicy",
+    "PrecisionAutoswitcher",
+    "modeled_accuracy",
+    "accuracy_delta",
+]
+
+#: Anchors of the modeled accuracy curve: the paper's Table 1 AlexNet
+#: ImageNet top-1 at one plane-product extreme and the other (binary
+#: w1a1 = 1 bit-plane pass, full precision = the asymptote).
+_ACC_FULL = 0.570
+_ACC_BINARY = 0.461
+#: Exponent fitted so the curve passes near Table 1's w1a2 point (0.557).
+_ACC_DECAY = 3.0
+
+
+def modeled_accuracy(pair: PrecisionPair) -> float:
+    """Modeled top-1 accuracy of a ``wXaY`` configuration.
+
+    A saturating curve anchored to the paper's Table 1 AlexNet numbers:
+    one bit-plane pass (w1a1) gets the binary accuracy, and accuracy
+    approaches the full-precision value as the plane product ``X*Y``
+    grows -- ``acc = full - (full - binary) / (X*Y) ** 3``.  This is a
+    *model* (the repo trains no ImageNet networks); it exists so the
+    autoswitcher can report how much accuracy a precision downgrade
+    trades for latency, in the units the paper uses.
+    """
+    pp = pair.plane_product
+    return _ACC_FULL - (_ACC_FULL - _ACC_BINARY) / float(pp) ** _ACC_DECAY
+
+
+def accuracy_delta(default: PrecisionPair, downgraded: PrecisionPair) -> float:
+    """Modeled accuracy given up by serving ``default`` traffic at
+    ``downgraded`` (>= 0 for a genuine downgrade)."""
+    return modeled_accuracy(default) - modeled_accuracy(downgraded)
+
+
+class AdmissionRejected(RuntimeError):
+    """Raised by ``submit`` when the admission policy sheds a request."""
+
+    def __init__(self, model: str, queue_depth: int, max_queue_depth: int):
+        self.model = model
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"request for {model!r} shed: queue depth {queue_depth} at the "
+            f"admission cap {max_queue_depth}"
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bound the server queue at ``max_queue_depth`` requests.
+
+    ``mode`` selects what happens to a request arriving at the cap:
+
+    * ``"shed"`` -- reject it; ``submit`` raises :class:`AdmissionRejected`
+      and the metrics rejection counter increments;
+    * ``"defer"`` -- park it outside the queue; workers admit deferred
+      requests oldest-first as dispatches free capacity, and the metrics
+      deferral counter increments.
+
+    ``slo_gated=True`` additionally requires the SLO to be unattainable
+    before the cap bites: the request's model must have last dispatched
+    with ``BatchDecision.meets_slo == False`` (no candidate batch --
+    batch 1 included -- met the objective).  That is the ROADMAP's
+    trigger: when even batch-1 latency busts the SLO the queue only
+    grows, so cap it; while the SLO is attainable, queue freely.
+
+    Depth is the instantaneous queued-request count at submission.  For
+    burst workloads (and scaled replay) this is exactly the simulated
+    backlog; an unscaled paced replay enqueues ahead of the simulated
+    clock, so there the policy is conservative (it may act on requests
+    the simulation would have drained by then).
+    """
+
+    max_queue_depth: int
+    mode: str = "shed"
+    slo_gated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.mode not in ("shed", "defer"):
+            raise ValueError(
+                f"mode must be 'shed' or 'defer', got {self.mode!r}"
+            )
+
+    def admits(self, queue_depth: int, slo_infeasible: bool = True) -> bool:
+        """True when a request may enter a queue currently this deep.
+
+        ``slo_infeasible`` is the model's latest dispatch feasibility
+        signal (``not BatchDecision.meets_slo``); it only matters for
+        ``slo_gated`` policies, which admit freely while the SLO is
+        still attainable.
+        """
+        if self.slo_gated and not slo_infeasible:
+            return True
+        return queue_depth < self.max_queue_depth
+
+
+@dataclass(frozen=True)
+class PrecisionAutoswitcher:
+    """Depth-triggered ``wXaY`` downgrade ladder.
+
+    ``thresholds`` maps queue depths to precision pairs: at dispatch,
+    the highest threshold not exceeding the visible queue depth names
+    the pair to serve at.  The policy only ever *downgrades* -- a rung
+    whose plane product is not strictly below the model's default pair
+    is ignored, so light traffic (and non-APNN backends) always runs at
+    the configured precision.
+
+    Example: ``PrecisionAutoswitcher.from_spec({8: "w1a2", 32: "w1a1"})``
+    serves at the default pair below depth 8, at w1a2 from depth 8, and
+    at w1a1 from depth 32.
+    """
+
+    thresholds: tuple[tuple[int, PrecisionPair], ...]
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            raise ValueError("autoswitcher needs at least one threshold rung")
+        depths = [d for d, _ in self.thresholds]
+        if any(d < 1 for d in depths):
+            raise ValueError(f"threshold depths must be >= 1, got {depths}")
+        if len(set(depths)) != len(depths):
+            raise ValueError(f"duplicate threshold depths: {depths}")
+        if list(self.thresholds) != sorted(self.thresholds, key=lambda t: t[0]):
+            raise ValueError("thresholds must be sorted by ascending depth")
+
+    @classmethod
+    def from_spec(
+        cls, spec: Mapping[int, str] | Iterable[tuple[int, str]]
+    ) -> "PrecisionAutoswitcher":
+        """Build a ladder from ``{depth: "wXaY"}`` (or pair) entries."""
+        items = spec.items() if isinstance(spec, Mapping) else spec
+        rungs = tuple(
+            sorted(
+                ((int(depth), PrecisionPair.parse(name)) for depth, name in items),
+                key=lambda rung: rung[0],
+            )
+        )
+        return cls(thresholds=rungs)
+
+    def pair_for_depth(
+        self, default: PrecisionPair, queue_depth: int
+    ) -> PrecisionPair:
+        """Pair to serve at for this backlog (``default`` if no rung fires)."""
+        chosen = None
+        for depth, pair in self.thresholds:
+            if queue_depth >= depth:
+                chosen = pair
+        if chosen is None or chosen.plane_product >= default.plane_product:
+            return default
+        return chosen

@@ -1,0 +1,161 @@
+"""Pluggable queue disciplines for the inference server's worker loops.
+
+The server keeps one FIFO queue per model.  Each time a worker frees up
+it must pick *which model's queue* to serve next; the original worker
+loop hardcoded earliest-arrival-first.  This module turns that choice
+into a :class:`QueueDiscipline` strategy object so SLO-aware policies
+can be swapped in without touching the dispatch machinery:
+
+``fifo``
+    Earliest head arrival first, deeper queue breaking ties -- the
+    original behavior and still the default.
+``edf``
+    Earliest-deadline-first.  Each request's deadline is its arrival
+    plus its model's SLO (per-model ``ServedModel.slo_ms`` override, or
+    the server-wide SLO).  Under backlog, requests whose objectives
+    expire soonest are served first, which is the classic optimal
+    single-machine policy for minimizing maximum lateness.
+``wfq``
+    Per-model weighted fair queueing.  Each model accrues normalized
+    service (requests served divided by its ``ServedModel.weight``);
+    the backlogged model with the least normalized service goes next,
+    so a chatty model cannot starve a quiet one beyond its weight
+    ratio.
+
+Disciplines see only :class:`QueueSnapshot` views built from requests
+that have *arrived by the worker's simulated now* -- the same
+non-clairvoyance rule the dispatch loop enforces -- so every policy is
+deterministic and assertable on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "QueueSnapshot",
+    "QueueDiscipline",
+    "FIFODiscipline",
+    "EDFDiscipline",
+    "WFQDiscipline",
+    "DISCIPLINES",
+    "make_discipline",
+]
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """What a discipline may know about one model's queue at dispatch time.
+
+    All fields describe only requests that have arrived by the worker's
+    simulated ``now`` (``depth`` counts exactly those).  ``served`` is
+    the number of this model's requests dispatched so far across all
+    workers -- the service history weighted fair queueing needs.
+    """
+
+    model: str
+    depth: int
+    head_arrival_us: float
+    head_deadline_us: float
+    weight: float
+    served: int
+
+    @property
+    def normalized_service(self) -> float:
+        """Service received per unit weight (WFQ's virtual-time proxy)."""
+        return self.served / self.weight
+
+
+class QueueDiscipline(ABC):
+    """Strategy choosing which model's queue a freed worker serves next."""
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    @abstractmethod
+    def select(self, queues: Sequence[QueueSnapshot]) -> str:
+        """Return the model to serve from ``queues`` (non-empty, depth >= 1).
+
+        The server guarantees ``queues`` holds only models with at least
+        one arrived request; implementations must return one of their
+        ``model`` names.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class FIFODiscipline(QueueDiscipline):
+    """Earliest head arrival first; deeper queue breaks ties.
+
+    This reproduces the server's original hardcoded loop: batches stay
+    homogeneous per model and no request is served after a
+    later-arriving one from another queue.
+    """
+
+    name = "fifo"
+
+    def select(self, queues: Sequence[QueueSnapshot]) -> str:
+        best = min(queues, key=lambda q: (q.head_arrival_us, -q.depth, q.model))
+        return best.model
+
+
+class EDFDiscipline(QueueDiscipline):
+    """Earliest-deadline-first over the queue heads.
+
+    Ties fall back to FIFO order so EDF degenerates to FIFO when every
+    model shares one SLO and arrivals are distinct.
+    """
+
+    name = "edf"
+
+    def select(self, queues: Sequence[QueueSnapshot]) -> str:
+        best = min(
+            queues,
+            key=lambda q: (
+                q.head_deadline_us, q.head_arrival_us, -q.depth, q.model
+            ),
+        )
+        return best.model
+
+
+class WFQDiscipline(QueueDiscipline):
+    """Weighted fair queueing: least normalized service goes first.
+
+    Uses served-requests-over-weight as the virtual-time proxy (a
+    deficit-round-robin-style approximation that needs no packet
+    lengths); head arrival breaks ties so the discipline is
+    work-conserving and deterministic.
+    """
+
+    name = "wfq"
+
+    def select(self, queues: Sequence[QueueSnapshot]) -> str:
+        best = min(
+            queues,
+            key=lambda q: (
+                q.normalized_service, q.head_arrival_us, -q.depth, q.model
+            ),
+        )
+        return best.model
+
+
+DISCIPLINES: dict[str, type[QueueDiscipline]] = {
+    cls.name: cls
+    for cls in (FIFODiscipline, EDFDiscipline, WFQDiscipline)
+}
+
+
+def make_discipline(discipline: str | QueueDiscipline) -> QueueDiscipline:
+    """Resolve a discipline name (or pass an instance through)."""
+    if isinstance(discipline, QueueDiscipline):
+        return discipline
+    try:
+        return DISCIPLINES[discipline]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown queue discipline {discipline!r}; "
+            f"available: {sorted(DISCIPLINES)}"
+        ) from exc

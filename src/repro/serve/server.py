@@ -8,6 +8,17 @@ batches sized by the :class:`~repro.serve.batcher.DynamicBatcher`,
 :class:`~repro.nn.engine.CompiledPlan`, and resolve each request with its
 simulated latency.
 
+Scheduling is pluggable (:mod:`repro.serve.scheduler`): each time a
+worker frees up, the configured :class:`~repro.serve.scheduler.QueueDiscipline`
+(FIFO / earliest-deadline-first / weighted fair queueing) picks which
+model's queue to serve from snapshots of the *arrived-by-now* backlog.
+Two load policies (:mod:`repro.serve.policies`) ride on the same clock:
+an :class:`~repro.serve.policies.AdmissionPolicy` sheds or defers
+requests past a queue-depth cap, and a
+:class:`~repro.serve.policies.PrecisionAutoswitcher` downgrades APNN
+workers' ``wXaY`` pair under backlog, pricing the degraded plan through
+the same plan cache.
+
 Time accounting is discrete-event on a simulated clock: each worker
 carries a ``sim_free_at_us`` watermark; when it frees up (or the queue
 head arrives, whichever is later) it coalesces only the requests that
@@ -25,16 +36,24 @@ from __future__ import annotations
 import asyncio
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
-from ..nn.engine import InferenceEngine
+from ..core.types import PrecisionPair
+from ..nn.engine import APNNBackend, InferenceEngine
 from ..nn.module import Sequential
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 from ..tensorcore.device import DeviceSpec
 from .batcher import DEFAULT_CANDIDATE_BATCHES, DynamicBatcher
 from .metrics import ServerMetrics
 from .plan_cache import PlanCache
+from .policies import (
+    AdmissionPolicy,
+    AdmissionRejected,
+    PrecisionAutoswitcher,
+    accuracy_delta,
+)
+from .scheduler import QueueDiscipline, QueueSnapshot, make_discipline
 
 __all__ = ["ServedModel", "RequestResult", "InferenceServer"]
 
@@ -43,10 +62,23 @@ DEFAULT_INPUT_SHAPE = (3, 224, 224)
 
 @dataclass(frozen=True)
 class ServedModel:
-    """One deployable model plus the input geometry it expects."""
+    """One deployable model plus the input geometry it expects.
+
+    ``slo_ms`` optionally overrides the server-wide latency objective
+    for this model (EDF deadlines and per-model batching use it);
+    ``weight`` is the model's share under weighted fair queueing.
+    """
 
     model: Sequential
     input_shape: tuple[int, int, int] = DEFAULT_INPUT_SHAPE
+    slo_ms: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
 
 
 @dataclass(frozen=True)
@@ -61,6 +93,9 @@ class RequestResult:
     arrival_us: float
     start_us: float
     finish_us: float
+    deadline_us: float = float("inf")  #: arrival + the model's SLO
+    pair: str = ""        #: wXaY pair actually served (APNN workers)
+    switched: bool = False  #: True when the pair was autoswitch-degraded
 
     @property
     def wait_us(self) -> float:
@@ -77,6 +112,10 @@ class RequestResult:
     @property
     def latency_ms(self) -> float:
         return self.latency_us / 1000.0
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.finish_us <= self.deadline_us
 
 
 @dataclass
@@ -102,7 +141,17 @@ class InferenceServer:
         :class:`~repro.nn.engine.BNNBackend` /
         :class:`~repro.nn.engine.LibraryBackend`).
     slo_ms:
-        Latency objective handed to the dynamic batcher.
+        Latency objective handed to the dynamic batcher; individual
+        models may override it via :attr:`ServedModel.slo_ms`.
+    discipline:
+        Queue discipline name (``"fifo"`` / ``"edf"`` / ``"wfq"``) or a
+        :class:`~repro.serve.scheduler.QueueDiscipline` instance.
+    admission:
+        Optional :class:`~repro.serve.policies.AdmissionPolicy` bounding
+        the queue (shed or defer past the cap).
+    autoswitch:
+        Optional :class:`~repro.serve.policies.PrecisionAutoswitcher`
+        downgrading APNN workers' precision under backlog.
     time_scale:
         Real seconds slept per simulated microsecond of batch service
         (0 = don't sleep, just yield).
@@ -116,6 +165,9 @@ class InferenceServer:
         slo_ms: float = 5.0,
         candidate_batches: Sequence[int] = DEFAULT_CANDIDATE_BATCHES,
         plan_cache: PlanCache | None = None,
+        discipline: str | QueueDiscipline = "fifo",
+        admission: AdmissionPolicy | None = None,
+        autoswitch: PrecisionAutoswitcher | None = None,
         time_scale: float = 0.0,
         calibration: Calibration = DEFAULT_CALIBRATION,
     ) -> None:
@@ -132,7 +184,11 @@ class InferenceServer:
         self.batcher = DynamicBatcher(slo_ms, candidate_batches)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.metrics = ServerMetrics()
+        self.discipline = make_discipline(discipline)
+        self.admission = admission
+        self.autoswitch = autoswitch
         self.time_scale = time_scale
+        self._calibration = calibration
 
         self._worker_specs: list[tuple[str, object, DeviceSpec]] = []
         seen: dict[str, int] = {}
@@ -142,17 +198,26 @@ class InferenceServer:
             name = base if seen[base] == 1 else f"{base}#{seen[base]}"
             self._worker_specs.append((name, backend, device))
 
-        # One engine per (model, worker): planning state (fused groups,
-        # latency model) is reusable across requests.
-        self._engines: dict[tuple[str, str], InferenceEngine] = {}
+        # One engine per (model, worker, precision): planning state (fused
+        # groups, latency model) is reusable across requests.  Key "" is
+        # the worker's configured precision; autoswitch-degraded engines
+        # are built lazily under the degraded pair's name.
+        self._engines: dict[tuple[str, str, str], InferenceEngine] = {}
         for model_name, served in self.models.items():
             for wname, backend, device in self._worker_specs:
-                self._engines[(model_name, wname)] = InferenceEngine(
+                self._engines[(model_name, wname, "")] = InferenceEngine(
                     served.model, backend, device, calibration=calibration
                 )
 
         self._queues: dict[str, deque[_PendingRequest]] = {
             name: deque() for name in self.models
+        }
+        self._deferred: deque[_PendingRequest] = deque()
+        self._served_counts: dict[str, int] = {name: 0 for name in self.models}
+        # Latest per-model dispatch feasibility (not BatchDecision.meets_slo):
+        # the trigger signal for slo_gated admission.  Starts attainable.
+        self._slo_infeasible: dict[str, bool] = {
+            name: False for name in self.models
         }
         self._cond: asyncio.Condition | None = None
         self._stopped: asyncio.Event | None = None
@@ -168,7 +233,11 @@ class InferenceServer:
     async def submit(
         self, model: str, arrival_us: float | None = None
     ) -> RequestResult:
-        """Enqueue one request and await its simulated completion."""
+        """Enqueue one request and await its simulated completion.
+
+        Raises :class:`~repro.serve.policies.AdmissionRejected` when the
+        admission policy sheds the request at the queue-depth cap.
+        """
         if model not in self.models:
             raise KeyError(
                 f"unknown model {model!r}; served: {sorted(self.models)}"
@@ -182,13 +251,27 @@ class InferenceServer:
             ),
             future=asyncio.get_running_loop().create_future(),
         )
-        self._sim_now_us = max(self._sim_now_us, req.arrival_us)
         async with cond:
             # Re-check under the lock: a stop() that completed while we
             # awaited it would leave this request queued forever.
             if not self._running:
                 raise RuntimeError("server is stopped; no worker will serve")
-            self._queues[model].append(req)
+            if self.admission is not None and not self.admission.admits(
+                self.queue_depth, self._slo_infeasible[model]
+            ):
+                if self.admission.mode == "shed":
+                    # shed before touching the clock: a rejected request
+                    # must not skew later default-arrival stamps
+                    self.metrics.record_rejection(model)
+                    raise AdmissionRejected(
+                        model, self.queue_depth, self.admission.max_queue_depth
+                    )
+                self.metrics.record_deferral(model)
+                self._deferred.append(req)
+            else:
+                self._queues[model].append(req)
+                self.metrics.record_queue_depth(self.queue_depth)
+            self._sim_now_us = max(self._sim_now_us, req.arrival_us)
             cond.notify_all()
         return await req.future
 
@@ -209,7 +292,7 @@ class InferenceServer:
         ]
 
     async def stop(self) -> None:
-        """Drain the queues, then stop the workers."""
+        """Drain the queues (deferred requests included), then stop."""
         if not self._running:
             return
         self._running = False
@@ -226,12 +309,23 @@ class InferenceServer:
 
     @property
     def queue_depth(self) -> int:
+        """Admitted (non-deferred) requests currently queued."""
         return sum(len(q) for q in self._queues.values())
+
+    @property
+    def deferred_depth(self) -> int:
+        """Requests parked by the admission policy's defer mode."""
+        return len(self._deferred)
 
     @property
     def sim_duration_us(self) -> float:
         """Simulated time from first arrival to last batch completion."""
         return self._last_finish_us
+
+    def slo_ms_for(self, model: str) -> float:
+        """Effective latency objective of one model (override or global)."""
+        override = self.models[model].slo_ms
+        return self.batcher.slo_ms if override is None else override
 
     def _require_started(self) -> asyncio.Condition:
         if self._cond is None or not self._running:
@@ -243,43 +337,152 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # worker loops
     # ------------------------------------------------------------------
-    def _price_fn(self, model: str, worker: str):
-        engine = self._engines[(model, worker)]
+    def _engine_for(
+        self, model: str, worker: str, backend, device,
+        pair: PrecisionPair | None,
+    ) -> InferenceEngine:
+        """Engine serving ``model`` on ``worker``, optionally downgraded.
+
+        Degraded-precision engines are created lazily and memoized so an
+        autoswitch rung costs one planning pass per (model, worker, pair)
+        for the process lifetime; their plans land in the same plan cache
+        under the degraded backend's key.  Per-layer mixed-precision
+        overrides are preserved: each override keeps its own pair when it
+        is already below the rung, and is capped at the rung otherwise --
+        a downgrade never raises any layer's precision.
+        """
+        key = (model, worker, pair.name if pair is not None else "")
+        engine = self._engines.get(key)
+        if engine is None:
+            layer_pairs = tuple(
+                (name, lp if lp.plane_product < pair.plane_product else pair)
+                for name, lp in backend.layer_pairs
+            )
+            degraded = replace(backend, pair=pair, layer_pairs=layer_pairs)
+            engine = InferenceEngine(
+                self.models[model].model, degraded, device,
+                calibration=self._calibration,
+            )
+            self._engines[key] = engine
+        return engine
+
+    def _price_fn(self, engine: InferenceEngine, model: str):
         shape = self.models[model].input_shape
         return lambda batch: self.plan_cache.total_us(engine, batch, shape)
+
+    def _promote_deferred(self) -> None:
+        """Admit deferred requests (oldest first) as capacity frees.
+
+        Must be called under the condition lock.  A stopping server
+        flushes everything so drain-on-stop still answers every request;
+        a running one respects the admission cap.  Promoted requests
+        keep their original arrival stamp and rejoin at the queue tail.
+        """
+        if not self._deferred:
+            return
+        cap = (
+            self.admission.max_queue_depth
+            if self.admission is not None else None
+        )
+        promoted = False
+        while self._deferred and (
+            not self._running or cap is None or self.queue_depth < cap
+        ):
+            req = self._deferred.popleft()
+            self._queues[req.model].append(req)
+            promoted = True
+        if promoted:
+            if self._running:
+                # the stop()-time flush ignores the cap by design; don't
+                # let it poison the <= cap invariant of the high-water mark
+                self.metrics.record_queue_depth(self.queue_depth)
+            self._cond.notify_all()
+
+    def _visible_snapshots(
+        self, now_us: float
+    ) -> tuple[list[QueueSnapshot], dict[str, int]]:
+        """Per-model views of requests arrived by ``now_us``."""
+        snapshots: list[QueueSnapshot] = []
+        depths: dict[str, int] = {}
+        for model, queue in self._queues.items():
+            if not queue or queue[0].arrival_us > now_us:
+                continue
+            depth = 0
+            for r in queue:
+                if r.arrival_us > now_us:
+                    break
+                depth += 1
+            depths[model] = depth
+            served = self.models[model]
+            slo_us = self.slo_ms_for(model) * 1000.0
+            snapshots.append(
+                QueueSnapshot(
+                    model=model,
+                    depth=depth,
+                    head_arrival_us=queue[0].arrival_us,
+                    head_deadline_us=queue[0].arrival_us + slo_us,
+                    weight=served.weight,
+                    served=self._served_counts[model],
+                )
+            )
+        return snapshots, depths
 
     async def _worker_loop(self, name: str, backend, device) -> None:
         cond = self._cond
         sim_free_at_us = 0.0
         while True:
             async with cond:
+                self._promote_deferred()
                 while self._running and self.queue_depth == 0:
                     await cond.wait()
+                    self._promote_deferred()
                 if not self._running and self.queue_depth == 0:
                     return
-                # Earliest head arrival first (deeper queue breaks ties):
-                # batches stay homogeneous per model and no request is
-                # served after a later-arriving one from another queue.
-                model = min(
-                    (m for m, q in self._queues.items() if q),
-                    key=lambda m: (
-                        self._queues[m][0].arrival_us, -len(self._queues[m])
-                    ),
-                )
-                queue = self._queues[model]
                 # Non-clairvoyant dispatch: when the worker frees up (or
-                # the head arrives, if later) it can only see requests
-                # that have arrived by that simulated instant -- even if
-                # an unscaled replay has already enqueued the future.
-                now_us = max(sim_free_at_us, queue[0].arrival_us)
-                depth = 0
-                for r in queue:
-                    if r.arrival_us > now_us:
-                        break
-                    depth += 1
+                # the earliest queued request arrives, if later) it can
+                # only see requests that have arrived by that simulated
+                # instant -- even if an unscaled replay has already
+                # enqueued the future.
+                earliest = min(
+                    q[0].arrival_us for q in self._queues.values() if q
+                )
+                now_us = max(sim_free_at_us, earliest)
+                snapshots, depths = self._visible_snapshots(now_us)
+                model = self.discipline.select(tuple(snapshots))
+                queue = self._queues[model]
+                depth = depths[model]
+                visible_total = sum(depths.values())
+
+                # Precision autoswitching: under backlog, serve APNN
+                # traffic at a downgraded wXaY pair priced through the
+                # same plan cache.
+                switched = False
+                batch_accuracy_delta = 0.0
+                pair = getattr(backend, "pair", None)
+                if (
+                    self.autoswitch is not None
+                    and isinstance(backend, APNNBackend)
+                ):
+                    degraded = self.autoswitch.pair_for_depth(
+                        backend.pair, visible_total
+                    )
+                    if degraded != backend.pair:
+                        switched = True
+                        # priced at the backend's default pair; for
+                        # mixed-precision backends (whose sub-rung layer
+                        # overrides are preserved) this is an upper bound
+                        batch_accuracy_delta = accuracy_delta(
+                            backend.pair, degraded
+                        )
+                        pair = degraded
+                engine = self._engine_for(
+                    model, name, backend, device,
+                    pair if switched else None,
+                )
+                slo_ms = self.slo_ms_for(model)
                 try:
                     decision = self.batcher.choose(
-                        depth, self._price_fn(model, name)
+                        depth, self._price_fn(engine, model), slo_ms=slo_ms
                     )
                 except Exception as exc:
                     # Planning/pricing failed (e.g. a model/input-shape
@@ -292,6 +495,9 @@ class InferenceServer:
                     continue
                 take = min(decision.batch_size, depth)
                 batch = [queue.popleft() for _ in range(take)]
+                self._served_counts[model] += take
+                self._slo_infeasible[model] = not decision.meets_slo
+                self._promote_deferred()
 
             start_us = now_us
             finish_us = start_us + decision.expected_latency_us
@@ -305,6 +511,7 @@ class InferenceServer:
                 decision.expected_latency_us * self.time_scale
             )
 
+            slo_us = slo_ms * 1000.0
             results = [
                 RequestResult(
                     request_id=r.request_id,
@@ -315,6 +522,9 @@ class InferenceServer:
                     arrival_us=r.arrival_us,
                     start_us=start_us,
                     finish_us=finish_us,
+                    deadline_us=r.arrival_us + slo_us,
+                    pair=pair.name if pair is not None else "",
+                    switched=switched,
                 )
                 for r in batch
             ]
@@ -326,6 +536,11 @@ class InferenceServer:
                 service_us=decision.expected_latency_us,
                 request_latencies_us=[res.latency_us for res in results],
                 meets_slo=decision.meets_slo,
+                deadline_misses=sum(
+                    not res.met_deadline for res in results
+                ),
+                switched=switched,
+                accuracy_delta=batch_accuracy_delta,
             )
             for r, res in zip(batch, results):
                 if not r.future.done():

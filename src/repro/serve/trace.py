@@ -17,9 +17,24 @@ from typing import Sequence
 
 import numpy as np
 
+from .policies import AdmissionRejected
 from .server import InferenceServer, RequestResult
 
-__all__ = ["TraceEvent", "poisson_trace", "burst_trace", "replay"]
+__all__ = [
+    "TraceEvent",
+    "RejectedRequest",
+    "poisson_trace",
+    "burst_trace",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """One trace event the admission policy shed, with the rejection."""
+
+    event: "TraceEvent"
+    error: AdmissionRejected
 
 
 @dataclass(frozen=True)
@@ -76,14 +91,23 @@ def burst_trace(
 
 
 async def replay(
-    server: InferenceServer, trace: Sequence[TraceEvent]
-) -> list[RequestResult]:
+    server: InferenceServer, trace: Sequence[TraceEvent], *,
+    include_rejections: bool = False,
+) -> (
+    list[RequestResult]
+    | tuple[list[RequestResult], list[RejectedRequest]]
+):
     """Submit every trace event and gather the results (arrival order).
 
     When the server runs scaled (``time_scale > 0``) the replay also
     paces submissions in real time; unscaled, all submissions land as
     fast as the loop schedules them and the simulated arrival stamps do
     the pacing.
+
+    Requests shed by the server's admission policy are dropped from the
+    results (an open-loop client that got a 503); pass
+    ``include_rejections=True`` to also get the shed events back as
+    ``(results, rejections)``.  Any other submission failure propagates.
     """
     events = sorted(trace, key=lambda e: e.t_us)
 
@@ -92,4 +116,18 @@ async def replay(
             await asyncio.sleep(event.t_us * server.time_scale)
         return await server.submit(event.model, arrival_us=event.t_us)
 
-    return list(await asyncio.gather(*(_submit(e) for e in events)))
+    outcomes = await asyncio.gather(
+        *(_submit(e) for e in events), return_exceptions=True
+    )
+    results: list[RequestResult] = []
+    rejections: list[RejectedRequest] = []
+    for event, outcome in zip(events, outcomes):
+        if isinstance(outcome, AdmissionRejected):
+            rejections.append(RejectedRequest(event=event, error=outcome))
+        elif isinstance(outcome, BaseException):
+            raise outcome
+        else:
+            results.append(outcome)
+    if include_rejections:
+        return results, rejections
+    return results

@@ -6,6 +6,8 @@ from repro.core import PrecisionPair
 from repro.nn import APNNBackend, InferenceEngine, alexnet
 from repro.serve import DynamicBatcher, PlanCache
 
+pytestmark = pytest.mark.serving
+
 SHAPE = (3, 64, 64)
 
 

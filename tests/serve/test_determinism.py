@@ -1,0 +1,71 @@
+"""Seeded-trace determinism: identical traces, identical served latencies.
+
+The whole point of the simulated clock is that serving runs are
+reproducible: the same seed must yield the same arrivals, and a full
+``InferenceServer`` run over that trace must yield identical
+``RequestResult`` timings run-over-run.  This guards against
+nondeterminism creeping into the clock (wall-time leaks, set/dict
+ordering in the dispatch path, race-dependent batching).
+"""
+
+import pytest
+
+from repro.serve import AdmissionPolicy, PrecisionAutoswitcher, poisson_trace
+
+from harness import make_server, run_trace
+
+pytestmark = pytest.mark.serving
+
+
+def _timings(run):
+    return sorted(
+        (r.request_id, r.model, r.arrival_us, r.start_us, r.finish_us,
+         r.batch_size, r.pair)
+        for r in run.results
+    )
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        a = poisson_trace(50_000, 200, ["m1", "m2"], weights=[2, 1], seed=42)
+        b = poisson_trace(50_000, 200, ["m1", "m2"], weights=[2, 1], seed=42)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = poisson_trace(50_000, 200, ["m1"], seed=1)
+        b = poisson_trace(50_000, 200, ["m1"], seed=2)
+        assert a != b
+
+
+class TestServerDeterminism:
+    def _trace(self):
+        return poisson_trace(
+            200_000, 120, ["alexnet-tight", "resnet-loose"], seed=9
+        )
+
+    def test_full_run_latencies_identical(self):
+        trace = self._trace()
+        first = run_trace(make_server(), trace)
+        second = run_trace(make_server(), trace)
+        assert len(first.results) == 120
+        assert _timings(first) == _timings(second)
+
+    def test_full_run_identical_under_policies(self):
+        """Scheduler + admission + autoswitch stay on the simulated
+        clock too -- no policy introduces ordering nondeterminism."""
+        trace = self._trace()
+
+        def server():
+            return make_server(
+                discipline="edf",
+                admission=AdmissionPolicy(max_queue_depth=24, mode="defer"),
+                autoswitch=PrecisionAutoswitcher.from_spec({12: "w1a1"}),
+            )
+
+        first = run_trace(server(), trace)
+        second = run_trace(server(), trace)
+        assert _timings(first) == _timings(second)
+        m1, m2 = first.server.metrics, second.server.metrics
+        assert m1.total_deferred == m2.total_deferred
+        assert m1.total_switched_batches == m2.total_switched_batches
+        assert m1.max_queue_depth_seen == m2.max_queue_depth_seen

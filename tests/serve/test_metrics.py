@@ -4,6 +4,8 @@ import pytest
 
 from repro.serve import ServerMetrics, percentile
 
+pytestmark = pytest.mark.serving
+
 
 class TestPercentile:
     def test_empty_is_zero(self):

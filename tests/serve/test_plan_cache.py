@@ -13,6 +13,8 @@ from repro.nn import (
 from repro.serve import PlanCache, backend_key
 from repro.tensorcore import A100, RTX3090
 
+pytestmark = pytest.mark.serving
+
 W1A2 = PrecisionPair.parse("w1a2")
 SHAPE = (3, 64, 64)
 

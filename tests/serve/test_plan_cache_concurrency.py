@@ -1,0 +1,108 @@
+"""Plan cache under concurrency: many coroutines, overlapping keys.
+
+The cache is shared by every worker loop of a server (and across
+servers); these tests hammer one instance from many coroutines with
+overlapping (model, precision, batch) keys and assert the accounting
+invariants hold: hits + misses == lookups, entries never exceed
+capacity, and evictions reconcile exactly with the insert count.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend, InferenceEngine, alexnet
+from repro.serve import PlanCache
+from repro.tensorcore import RTX3090
+
+from harness import small_alexnet
+
+pytestmark = pytest.mark.serving
+
+SHAPE = (3, 64, 64)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """One engine per precision pair, all over the same small model."""
+    net = small_alexnet()
+    return {
+        name: InferenceEngine(net, APNNBackend(PrecisionPair.parse(name)), RTX3090)
+        for name in ("w1a2", "w2a2", "w1a4")
+    }
+
+
+def _hammer(cache, engines, *, tasks, lookups_per_task, batches):
+    """Run many coroutines doing interleaved overlapping lookups."""
+    combos = list(itertools.product(sorted(engines), batches))
+
+    async def worker(offset: int):
+        total = 0.0
+        for i in range(lookups_per_task):
+            name, batch = combos[(offset + i) % len(combos)]
+            total += cache.total_us(engines[name], batch, SHAPE)
+            if i % 3 == 0:
+                await asyncio.sleep(0)  # force interleaving mid-stream
+        return total
+
+    async def run():
+        return await asyncio.gather(*(worker(i) for i in range(tasks)))
+
+    return asyncio.run(run())
+
+
+class TestConcurrentLookups:
+    def test_counters_consistent_under_interleaving(self, engines):
+        cache = PlanCache()
+        # 36 lookups per task = 3 full passes over the 12 combos, so
+        # every coroutine prices an identical working set
+        totals = _hammer(
+            cache, engines, tasks=16, lookups_per_task=36, batches=(1, 2, 4, 8)
+        )
+        stats = cache.stats()
+        assert stats.lookups == 16 * 36
+        assert stats.hits + stats.misses == stats.lookups
+        # 3 precisions x 4 batches = 12 distinct keys; everything else hit
+        assert stats.misses == 12
+        assert stats.entries == 12
+        assert stats.evictions == 0
+        # every coroutine priced the same working set -> equal totals
+        # (approx: summation order differs per coroutine offset)
+        assert all(t == pytest.approx(totals[0]) for t in totals)
+
+    def test_eviction_never_exceeds_capacity(self, engines):
+        cache = PlanCache(max_entries=5)
+        _hammer(
+            cache, engines, tasks=8, lookups_per_task=24,
+            batches=(1, 2, 4, 8),
+        )
+        stats = cache.stats()
+        assert len(cache) <= 5
+        assert stats.entries <= 5
+        # inserts (misses) reconcile with what's left after eviction
+        assert stats.misses - stats.evictions == stats.entries
+        assert stats.hits + stats.misses == stats.lookups
+
+    def test_concurrent_results_match_serial(self, engines):
+        """Cache-mediated pricing is the same no matter the interleaving."""
+        serial = PlanCache()
+        expected = {
+            (name, batch): serial.total_us(engines[name], batch, SHAPE)
+            for name in engines
+            for batch in (1, 4)
+        }
+        cache = PlanCache()
+
+        async def one(name, batch):
+            await asyncio.sleep(0)
+            return (name, batch), cache.total_us(engines[name], batch, SHAPE)
+
+        async def run():
+            return await asyncio.gather(
+                *(one(n, b) for (n, b) in list(expected) * 5)
+            )
+
+        for key, value in asyncio.run(run()):
+            assert value == expected[key]

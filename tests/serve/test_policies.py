@@ -1,0 +1,266 @@
+"""Admission control and precision autoswitching: units + server runs."""
+
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend
+from repro.serve import (
+    AdmissionPolicy,
+    AdmissionRejected,
+    PrecisionAutoswitcher,
+    TraceEvent,
+    accuracy_delta,
+    burst_trace,
+    modeled_accuracy,
+)
+from repro.tensorcore import RTX3090
+
+from harness import make_server, run_trace
+
+pytestmark = pytest.mark.serving
+
+W1A1 = PrecisionPair.parse("w1a1")
+W1A2 = PrecisionPair.parse("w1a2")
+W2A8 = PrecisionPair.parse("w2a8")
+
+
+class TestModeledAccuracy:
+    def test_anchors_and_monotonicity(self):
+        assert modeled_accuracy(W1A1) == pytest.approx(0.461)
+        assert modeled_accuracy(W1A2) == pytest.approx(0.557, abs=0.005)
+        assert (
+            modeled_accuracy(W1A1)
+            < modeled_accuracy(W1A2)
+            < modeled_accuracy(W2A8)
+            < 0.570
+        )
+
+    def test_accuracy_delta_positive_for_downgrade(self):
+        assert accuracy_delta(W2A8, W1A2) > 0
+        assert accuracy_delta(W2A8, W2A8) == 0.0
+
+
+class TestAdmissionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=4, mode="drop")
+
+    def test_admits_below_cap(self):
+        policy = AdmissionPolicy(max_queue_depth=4)
+        assert policy.admits(0) and policy.admits(3)
+        assert not policy.admits(4) and not policy.admits(10)
+
+    def test_shed_bounds_queue_and_counts_rejections(self):
+        trace = burst_trace(60, ["alexnet-tight", "resnet-loose"])
+        run = run_trace(
+            make_server(
+                admission=AdmissionPolicy(max_queue_depth=16, mode="shed")
+            ),
+            trace,
+        )
+        m = run.server.metrics
+        assert m.max_queue_depth_seen <= 16
+        assert m.total_rejected > 0
+        assert len(run.rejections) == m.total_rejected
+        assert len(run.results) + len(run.rejections) == 60
+        for rej in run.rejections:
+            assert isinstance(rej.error, AdmissionRejected)
+            assert rej.error.max_queue_depth == 16
+
+    def test_defer_serves_everyone_but_bounds_queue(self):
+        trace = burst_trace(60, ["alexnet-tight", "resnet-loose"])
+        run = run_trace(
+            make_server(
+                admission=AdmissionPolicy(max_queue_depth=16, mode="defer")
+            ),
+            trace,
+        )
+        m = run.server.metrics
+        assert len(run.results) == 60  # nothing dropped
+        assert not run.rejections
+        assert m.total_deferred > 0
+        assert m.max_queue_depth_seen <= 16
+        assert run.server.deferred_depth == 0  # drained on stop
+
+    def test_deferred_requests_pay_their_wait(self):
+        """Deferral keeps the original arrival stamp, so deferred
+        requests report longer latencies than admitted ones."""
+        trace = burst_trace(40, ["alexnet-tight"])
+        capped = run_trace(
+            make_server(
+                admission=AdmissionPolicy(max_queue_depth=8, mode="defer")
+            ),
+            trace,
+        )
+        uncapped = run_trace(make_server(), trace)
+        # same trace, same service model: deferral reorders but cannot
+        # finish the whole burst earlier than the unbounded queue
+        assert max(
+            r.finish_us for r in capped.results
+        ) >= max(r.finish_us for r in uncapped.results) * 0.99
+
+    def test_slo_gated_unit(self):
+        policy = AdmissionPolicy(max_queue_depth=4, slo_gated=True)
+        # SLO still attainable: admit freely, cap ignored
+        assert policy.admits(100, slo_infeasible=False)
+        # SLO unattainable: the cap bites
+        assert policy.admits(3, slo_infeasible=True)
+        assert not policy.admits(4, slo_infeasible=True)
+
+    def test_slo_gated_never_sheds_feasible_traffic(self):
+        """With attainable SLOs the gate stays closed: a deep burst far
+        past the cap is still fully admitted and served."""
+        trace = burst_trace(60, ["alexnet-tight", "resnet-loose"])
+        run = run_trace(
+            make_server(
+                admission=AdmissionPolicy(
+                    max_queue_depth=8, mode="shed", slo_gated=True
+                )
+            ),
+            trace,
+        )
+        assert len(run.results) == 60
+        assert run.server.metrics.total_rejected == 0
+
+    def test_slo_gated_sheds_once_batch1_busts_the_slo(self):
+        """An unattainable SLO (batch-1 latency >> objective) opens the
+        gate after the first dispatch; later bursts shed at the cap."""
+        import asyncio
+
+        from repro.serve import AdmissionRejected as Rejected
+        from repro.serve import ServedModel
+
+        from harness import small_alexnet
+
+        server = make_server(
+            models={
+                "doomed": ServedModel(
+                    small_alexnet(), (3, 64, 64), slo_ms=0.001
+                )
+            },
+            admission=AdmissionPolicy(
+                max_queue_depth=8, mode="shed", slo_gated=True
+            ),
+        )
+
+        async def run():
+            await server.start()
+            # wave 1: gate still closed (no dispatch yet) -> all admitted
+            first = await asyncio.gather(
+                *(server.submit("doomed") for _ in range(12))
+            )
+            # every dispatch missed the SLO -> the gate is now open
+            second = await asyncio.gather(
+                *(server.submit("doomed") for _ in range(30)),
+                return_exceptions=True,
+            )
+            await server.stop()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert len(first) == 12  # nothing shed while the gate was closed
+        shed = [r for r in second if isinstance(r, Rejected)]
+        served = [r for r in second if not isinstance(r, BaseException)]
+        assert shed and served
+        assert len(served) + len(shed) == 30
+        assert server.metrics.total_rejected == len(shed)
+        # wave 1 queued freely to 12 (gate closed); once open, wave 2
+        # was capped at 8, so the high-water mark never grew past it
+        assert server.metrics.max_queue_depth_seen == 12
+
+    def test_no_admission_policy_never_rejects(self):
+        trace = burst_trace(60, ["alexnet-tight", "resnet-loose"])
+        run = run_trace(make_server(), trace)
+        assert len(run.results) == 60
+        assert run.server.metrics.total_rejected == 0
+        assert run.server.metrics.total_deferred == 0
+
+
+class TestAutoswitcherUnit:
+    def test_ladder_selection(self):
+        sw = PrecisionAutoswitcher.from_spec({8: "w1a2", 32: "w1a1"})
+        assert sw.pair_for_depth(W2A8, 1) == W2A8
+        assert sw.pair_for_depth(W2A8, 8) == W1A2
+        assert sw.pair_for_depth(W2A8, 31) == W1A2
+        assert sw.pair_for_depth(W2A8, 32) == W1A1
+
+    def test_never_upgrades(self):
+        sw = PrecisionAutoswitcher.from_spec({4: "w2a8"})
+        assert sw.pair_for_depth(W1A2, 100) == W1A2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecisionAutoswitcher(thresholds=())
+        with pytest.raises(ValueError):
+            PrecisionAutoswitcher.from_spec({0: "w1a2"})
+        with pytest.raises(ValueError):
+            PrecisionAutoswitcher.from_spec([(4, "w1a2"), (4, "w1a1")])
+
+
+class TestAutoswitchEndToEnd:
+    def _servers(self, autoswitch):
+        return make_server(
+            workers=[(APNNBackend(W2A8), RTX3090)],
+            autoswitch=autoswitch,
+        )
+
+    def test_backlog_triggers_switch_and_lowers_tail_latency(self):
+        trace = burst_trace(48, ["alexnet-tight", "resnet-loose"])
+        plain = run_trace(self._servers(None), trace)
+        switched = run_trace(
+            self._servers(PrecisionAutoswitcher.from_spec({8: "w1a2"})), trace
+        )
+        m = switched.server.metrics
+        assert m.total_switched_batches > 0
+        assert 0 < m.switch_rate <= 1
+        assert m.mean_accuracy_delta == pytest.approx(
+            accuracy_delta(W2A8, W1A2)
+        )
+        degraded = [r for r in switched.results if r.switched]
+        assert degraded and all(r.pair == "w1a2" for r in degraded)
+        assert switched.p95_latency_us() < plain.p95_latency_us()
+
+    def test_downgrade_preserves_sub_rung_layer_overrides(self):
+        """Mixed-precision backends: a per-layer override below the
+        autoswitch rung is kept; one above it is capped at the rung --
+        a downgrade never raises any layer's precision."""
+        from repro.tensorcore import RTX3090 as _RTX
+
+        backend = APNNBackend.mixed("w2a8", {"conv1": "w1a1", "fc8": "w4a4"})
+        server = make_server(
+            workers=[(backend, _RTX)],
+            autoswitch=PrecisionAutoswitcher.from_spec({8: "w1a2"}),
+        )
+        wname, wbackend, wdevice = server._worker_specs[0]
+        engine = server._engine_for(
+            "alexnet-tight", wname, wbackend, wdevice, W1A2
+        )
+        assert engine.backend.pair.name == "w1a2"
+        pairs = {name: p.name for name, p in engine.backend.layer_pairs}
+        assert pairs == {"conv1": "w1a1", "fc8": "w1a2"}
+
+    def test_light_load_never_switches(self):
+        trace = burst_trace(2, ["alexnet-tight"])
+        run = run_trace(
+            self._servers(PrecisionAutoswitcher.from_spec({8: "w1a2"})), trace
+        )
+        assert run.server.metrics.total_switched_batches == 0
+        assert all(r.pair == "w2a8" for r in run.results)
+
+    def test_switched_plans_share_the_plan_cache(self):
+        """Degraded dispatches key the cache per precision: both the
+        default and downgraded backends' plans land in one cache, and
+        repeat dispatches at either precision hit it."""
+        trace = tuple(
+            TraceEvent(t_us=i * 5.0, model="alexnet-tight")
+            for i in range(48)
+        )
+        server = self._servers(PrecisionAutoswitcher.from_spec({8: "w1a2"}))
+        run = run_trace(server, trace)
+        assert len(run.results) == 48
+        backends = {key.backend for key in server.plan_cache._plans}
+        assert any("w1a2" in b for b in backends)  # degraded plans cached
+        assert any("w2a8" in b for b in backends)  # default plans cached
+        assert server.plan_cache.stats().hit_rate > 0

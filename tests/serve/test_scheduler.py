@@ -1,0 +1,146 @@
+"""Queue disciplines: unit selection logic + end-to-end server behavior."""
+
+import pytest
+
+from repro.serve import (
+    DISCIPLINES,
+    AdmissionPolicy,
+    EDFDiscipline,
+    FIFODiscipline,
+    QueueSnapshot,
+    TraceEvent,
+    WFQDiscipline,
+    burst_trace,
+    make_discipline,
+)
+
+from harness import make_server, run_trace
+
+pytestmark = pytest.mark.serving
+
+
+def snap(model, *, depth=1, arrival=0.0, deadline=1e6, weight=1.0, served=0):
+    return QueueSnapshot(
+        model=model,
+        depth=depth,
+        head_arrival_us=arrival,
+        head_deadline_us=deadline,
+        weight=weight,
+        served=served,
+    )
+
+
+class TestDisciplineSelection:
+    def test_fifo_earliest_arrival_then_depth(self):
+        d = FIFODiscipline()
+        assert d.select([snap("a", arrival=5.0), snap("b", arrival=1.0)]) == "b"
+        assert (
+            d.select([snap("a", depth=2, arrival=1.0), snap("b", arrival=1.0)])
+            == "a"
+        )
+
+    def test_edf_prefers_earliest_deadline(self):
+        d = EDFDiscipline()
+        picked = d.select(
+            [
+                snap("late", arrival=0.0, deadline=10_000.0),
+                snap("soon", arrival=5.0, deadline=100.0),
+            ]
+        )
+        assert picked == "soon"
+
+    def test_edf_falls_back_to_fifo_on_equal_deadlines(self):
+        d = EDFDiscipline()
+        picked = d.select(
+            [
+                snap("a", arrival=7.0, deadline=100.0),
+                snap("b", arrival=3.0, deadline=100.0),
+            ]
+        )
+        assert picked == "b"
+
+    def test_wfq_prefers_least_normalized_service(self):
+        d = WFQDiscipline()
+        picked = d.select(
+            [snap("hot", served=10, weight=1.0), snap("cold", served=1, weight=1.0)]
+        )
+        assert picked == "cold"
+
+    def test_wfq_weights_scale_service(self):
+        d = WFQDiscipline()
+        # hot has 4x the weight: 10/4 = 2.5 service > cold's 2/1... no,
+        # 2.5 > 2.0, so cold still goes; bump cold's served to flip it.
+        picked = d.select(
+            [snap("hot", served=10, weight=4.0), snap("cold", served=3, weight=1.0)]
+        )
+        assert picked == "hot"
+
+    def test_registry_and_factory(self):
+        assert set(DISCIPLINES) == {"fifo", "edf", "wfq"}
+        assert isinstance(make_discipline("edf"), EDFDiscipline)
+        inst = WFQDiscipline()
+        assert make_discipline(inst) is inst
+        with pytest.raises(ValueError, match="unknown queue discipline"):
+            make_discipline("lifo")
+
+
+class TestEndToEnd:
+    def test_default_discipline_is_fifo(self):
+        server = make_server()
+        assert isinstance(server.discipline, FIFODiscipline)
+
+    def test_edf_lowers_violations_vs_fifo_under_backlog(self):
+        """Mixed SLOs, one worker, a loose-SLO backlog ahead of
+        tight-SLO arrivals: FIFO drains the earlier-arriving loose queue
+        first (busting the tight deadlines); EDF jumps the tight queue
+        ahead as soon as it becomes visible."""
+        trace = tuple(
+            [TraceEvent(t_us=0.0, model="resnet-loose") for _ in range(40)]
+            + [TraceEvent(t_us=1.0, model="alexnet-tight") for _ in range(8)]
+        )
+        # small batch candidates so the backlog takes several dispatches
+        # (one giant batch would leave the disciplines nothing to decide)
+        kw = dict(candidate_batches=(1, 2, 4, 8))
+        fifo = run_trace(make_server(discipline="fifo", **kw), trace)
+        edf = run_trace(make_server(discipline="edf", **kw), trace)
+        assert len(fifo.results) == len(edf.results) == 48
+        assert fifo.deadline_violations("alexnet-tight") > 0
+        assert edf.deadline_violations() < fifo.deadline_violations()
+        # and the tight model's tail latency specifically improves
+        assert edf.p95_latency_us("alexnet-tight") < fifo.p95_latency_us(
+            "alexnet-tight"
+        )
+
+    def test_wfq_protects_light_model_from_heavy_backlog(self):
+        """40 heavy-model arrivals just before 4 light-model ones: FIFO
+        drains the heavy queue first, WFQ interleaves by weight."""
+        trace = tuple(
+            [TraceEvent(t_us=0.0, model="alexnet-tight") for _ in range(40)]
+            + [TraceEvent(t_us=1.0, model="resnet-loose") for _ in range(4)]
+        )
+        fifo = run_trace(make_server(discipline="fifo"), trace)
+        wfq = run_trace(make_server(discipline="wfq"), trace)
+        assert len(fifo.results) == len(wfq.results) == 44
+        assert wfq.mean_latency_us("resnet-loose") < fifo.mean_latency_us(
+            "resnet-loose"
+        )
+
+    def test_all_disciplines_serve_every_request(self):
+        trace = burst_trace(30, ["alexnet-tight", "resnet-loose"])
+        for name in DISCIPLINES:
+            run = run_trace(make_server(discipline=name), trace)
+            assert len(run.results) == 30, name
+            assert run.server.queue_depth == 0, name
+
+    def test_discipline_composes_with_admission(self):
+        trace = burst_trace(40, ["alexnet-tight", "resnet-loose"])
+        run = run_trace(
+            make_server(
+                discipline="edf",
+                admission=AdmissionPolicy(max_queue_depth=8, mode="defer"),
+            ),
+            trace,
+        )
+        assert len(run.results) == 40  # defer never drops
+        assert run.server.metrics.total_deferred > 0
+        assert run.server.metrics.max_queue_depth_seen <= 8

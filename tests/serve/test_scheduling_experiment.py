@@ -1,0 +1,91 @@
+"""The `scheduling` experiment's headline claims, asserted deterministically.
+
+These are the acceptance criteria of the scheduler work, checked on the
+experiment's own seeded trace (not just printed by the CLI runner):
+
+* EDF lowers SLO violations (and the tight model's p95) vs FIFO;
+* admission control bounds the queue depth at the configured cap with a
+  nonzero rejection counter (shed) / deferral counter (defer);
+* autoswitching reports a nonzero switch rate, a nonzero modeled
+  accuracy delta, and a lower p95 than the no-switching baseline.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    SCHEDULING_ADMISSION_CAP,
+    SCHEDULING_NUM_REQUESTS,
+    scheduling_study,
+    scheduling_trace,
+)
+
+pytestmark = [pytest.mark.serving, pytest.mark.integration]
+
+
+@pytest.fixture(scope="module")
+def study():
+    return scheduling_study()
+
+
+def _row(study, name):
+    """Row whose scheme is `name` (parenthesized knobs stripped)."""
+    matches = [
+        r for r in study["rows"]
+        if r["scheme"] == name or r["scheme"].split("(")[0] == name
+    ]
+    assert len(matches) == 1, (name, [r["scheme"] for r in study["rows"]])
+    return matches[0]
+
+
+def test_trace_is_seeded_and_shared():
+    a, b = scheduling_trace(), scheduling_trace()
+    assert a == b
+    assert len(a) == SCHEDULING_NUM_REQUESTS
+
+
+def test_every_discipline_serves_the_full_trace(study):
+    for prefix in ("fifo", "edf", "wfq", "fifo+defer", "fifo+autoswitch"):
+        assert _row(study, prefix)["served"] == SCHEDULING_NUM_REQUESTS
+
+
+def test_edf_lowers_slo_violations_vs_fifo(study):
+    fifo, edf = _row(study, "fifo"), _row(study, "edf")
+    assert fifo["deadline_misses"] > 0  # the trace genuinely overloads
+    assert edf["deadline_misses"] < fifo["deadline_misses"]
+    assert edf["tight_p95_ms"] < fifo["tight_p95_ms"]
+
+
+def test_admission_bounds_queue_depth_at_cap(study):
+    fifo = _row(study, "fifo")
+    shed = _row(study, "fifo+shed")
+    defer = _row(study, "fifo+defer")
+    assert fifo["max_queue_depth"] > SCHEDULING_ADMISSION_CAP  # unbounded
+    assert shed["max_queue_depth"] <= SCHEDULING_ADMISSION_CAP
+    assert shed["rejected"] > 0
+    assert shed["served"] + shed["rejected"] == SCHEDULING_NUM_REQUESTS
+    assert defer["max_queue_depth"] <= SCHEDULING_ADMISSION_CAP
+    assert defer["deferred"] > 0
+    assert defer["rejected"] == 0
+
+
+def test_autoswitch_trades_accuracy_for_p95(study):
+    fifo = _row(study, "fifo")
+    auto = _row(study, "fifo+autoswitch")
+    assert auto["switch_rate"] > 0
+    assert auto["accuracy_delta"] > 0
+    assert auto["p95_ms"] < fifo["p95_ms"]
+
+
+def test_precision_ladder_is_monotone_in_plane_product(study):
+    ladder = study["ladder"]
+    assert [p["pair"] for p in ladder][0] == "w1a2"
+    products = [p["plane_product"] for p in ladder]
+    assert products == sorted(products)
+    # more bit-plane passes -> more modeled latency (the dial the
+    # autoswitcher turns)
+    assert ladder[0]["latency_us"] < ladder[-1]["latency_us"]
+
+
+def test_study_is_deterministic():
+    """Two full runs of the study produce identical rows."""
+    assert scheduling_study()["rows"] == scheduling_study()["rows"]

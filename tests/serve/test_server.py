@@ -16,6 +16,8 @@ from repro.serve import (
 )
 from repro.tensorcore import A100, RTX3090
 
+pytestmark = pytest.mark.serving
+
 W1A2 = PrecisionPair.parse("w1a2")
 
 

@@ -6,6 +6,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.integration
+
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -50,6 +52,14 @@ def test_serving_demo():
     assert "plan-cache hit rate" in out
     assert "APNN-w1a2@RTX3090" in out
     assert "CUTLASS-INT8-TC@A100" in out
+
+
+def test_scheduling_demo():
+    out = _run("scheduling_demo.py")
+    assert "EDF lowers SLO violations vs FIFO: OK" in out
+    assert "admission bounds queue at" in out
+    assert "autoswitch rate" in out
+    assert "mean accuracy delta" in out
 
 
 @pytest.mark.slow

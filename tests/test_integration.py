@@ -18,6 +18,8 @@ from repro.nn.layers import Conv2d, Flatten, Linear, Quantize, ReLU
 from repro.perf import LatencyModel
 from repro.tensorcore import RTX3090
 
+pytestmark = pytest.mark.integration
+
 
 class TestQuantizeToKernelPipeline:
     """Float weights -> quantizer -> digits -> bit-serial kernel."""
