@@ -104,7 +104,9 @@ from repro.experiments.figures import (  # noqa: E402
     SCHEDULING_RATE_RPS,
     scheduling_models,
     scheduling_trace,
+    warmup_study,
 )
+from repro.serve import PlanCacheStore  # noqa: E402
 
 
 def _serve_discipline(discipline: str, plan_cache: PlanCache, trace):
@@ -160,3 +162,54 @@ def test_scheduling_disciplines(benchmark):
     for name, (misses, p95) in sorted(rows.items()):
         lines.append(f"| {name} | {misses} | {p95:.3f} |")
     save_and_print("serving_scheduling", "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# warmup: cold vs persisted vs prewarmed starts (cache round-trip)
+# ----------------------------------------------------------------------
+def test_warmup_cold_vs_persisted_vs_prewarmed(benchmark, tmp_path):
+    """The cold-start comparison, then a timed persisted restart.
+
+    ``warmup_study`` populates a plan-cache store under ``tmp_path`` and
+    self-checks its contracts (persisted restart replans nothing,
+    prewarm compiles nothing during traffic, zero in-loop compiles).
+    The benchmark then times a full replay on a *fresh* cache over that
+    store -- the restart path -- and asserts it really compiled nothing.
+    """
+    store_dir = tmp_path / "plans"
+    rows = warmup_study(cache_dir=store_dir)
+    trace = scheduling_trace()
+
+    def restart():
+        cache = PlanCache(store=PlanCacheStore(store_dir))
+        server, results = _serve_discipline("fifo", cache, trace)
+        return cache, server, results
+
+    cache, server, results = benchmark.pedantic(
+        restart, rounds=3, iterations=1
+    )
+    assert len(results) == SCHEDULING_NUM_REQUESTS
+    stats = cache.stats()
+    assert stats.compiles == 0, stats          # zero replans after restart
+    assert stats.persisted_entries > 0
+    assert stats.persisted_hits > 0
+    assert server.metrics.cold_compiles == 0
+
+    cols = ["scheme", "served", "compiles", "in_traffic_compiles",
+            "in_loop_compiles", "persisted_plans", "persisted_hits",
+            "coalesced", "p95_ms"]
+    lines = [
+        f"Warmup: {SCHEDULING_NUM_REQUESTS} requests, "
+        f"Poisson {SCHEDULING_RATE_RPS:.0f} rps, "
+        f"one APNN-{SCHEDULING_DEFAULT_PAIR} worker",
+        "",
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in rows:
+        cells = [
+            f"{row[c]:.3f}" if isinstance(row[c], float) else str(row[c])
+            for c in cols
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    save_and_print("serving_warmup", "\n".join(lines))

@@ -11,18 +11,23 @@ three serving mechanisms at work:
 * the **plan cache** (shared across both runs) stops replanning as soon
   as the (model, backend, batch) working set is warm;
 * the **metrics layer** reports simulated p50/p95, batch occupancy and
-  cache hit rates per worker.
+  cache hit rates per worker;
+* **plan persistence + prewarm** replay the same load over a
+  `PlanCacheStore`-backed cache and then "restart" the server: the
+  fresh process loads every plan from disk and compiles nothing.
 
 Run:  python examples/serving_demo.py
 """
 
 import asyncio
+import tempfile
 
 from repro.core import PrecisionPair
 from repro.nn import APNNBackend, BNNBackend, LibraryBackend, alexnet, resnet18
 from repro.serve import (
     InferenceServer,
     PlanCache,
+    PlanCacheStore,
     ServedModel,
     burst_trace,
     replay,
@@ -56,7 +61,9 @@ def build_workers():
     ]
 
 
-async def serve_trace(slo_ms: float, plan_cache: PlanCache):
+async def serve_trace(
+    slo_ms: float, plan_cache: PlanCache, *, prewarm: bool = False
+):
     """Serve the demo trace at one SLO; return the server and results."""
     models = build_models()
     server = InferenceServer(
@@ -66,7 +73,7 @@ async def serve_trace(slo_ms: float, plan_cache: PlanCache):
         plan_cache=plan_cache,
     )
     trace = burst_trace(NUM_REQUESTS, sorted(models))
-    await server.start()
+    await server.start(prewarm=prewarm)
     results = await replay(server, trace)
     await server.stop()
     return server, results
@@ -99,6 +106,26 @@ def main() -> None:
     hit_rate = plan_cache.stats().hit_rate
     assert hit_rate > 0.9, plan_cache.stats()
     print(f"plan-cache hit rate: {hit_rate:.3f} (> 0.9: OK)")
+
+    # -- plan persistence + prewarm: a restarted server replans nothing
+    with tempfile.TemporaryDirectory() as cache_dir:
+        first = PlanCache(store=PlanCacheStore(cache_dir))
+        server, _ = asyncio.run(
+            serve_trace(LOOSE_SLO_MS, first, prewarm=True)
+        )
+        assert server.metrics.prewarmed_plans > 0
+        assert server.metrics.cold_compiles == 0  # prewarm beat the traffic
+        print(f"\nprewarmed start: {server.metrics.prewarmed_plans} plans "
+              f"compiled before traffic, 0 cold compiles under load")
+
+        restarted = PlanCache(store=PlanCacheStore(cache_dir))
+        server, _ = asyncio.run(serve_trace(LOOSE_SLO_MS, restarted))
+        stats = restarted.stats()
+        assert stats.compiles == 0, stats
+        assert server.metrics.cold_compiles == 0
+        print(f"persisted restart: {stats.persisted_entries} plans loaded "
+              f"from the store, 0 compiles "
+              f"({stats.persisted_hits} persisted hits under load)")
 
 
 if __name__ == "__main__":

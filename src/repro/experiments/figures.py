@@ -18,6 +18,7 @@ Experiment geometry follows section 6 exactly:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..core.types import PrecisionPair
@@ -51,6 +52,7 @@ __all__ = [
     "scheduling_models",
     "scheduling_study",
     "scheduling_trace",
+    "warmup_study",
 ]
 
 GEMM_SIZES = tuple(range(128, 1025, 128))
@@ -716,3 +718,118 @@ def scheduling_study():
         )
     ]
     return {"rows": rows, "ladder": ladder}
+
+
+# ----------------------------------------------------------------------
+# warmup study (cold-start behavior)
+# ----------------------------------------------------------------------
+#: Environment override for where the warmup study persists plans.  CI's
+#: cache round-trip job points two runner *processes* at one directory so
+#: the second proves the store survives a real restart.
+WARMUP_CACHE_DIR_ENV = "REPRO_PLAN_CACHE_DIR"
+#: When set (CI's second process), the ``cold+persist`` row must load
+#: every plan from the pre-populated store -- zero compiles -- or the
+#: study raises instead of rendering a table.
+WARMUP_REQUIRE_PERSISTED_ENV = "REPRO_REQUIRE_PERSISTED"
+
+
+def warmup_study(cache_dir=None):
+    """Cold vs persisted vs prewarmed server starts on one seeded trace.
+
+    Replays the scheduling workload's trace under four start regimes:
+
+    * ``cold`` -- fresh in-memory cache: worker loops compile off-loop
+      (single-flight, thread executor) as traffic hits cold keys;
+    * ``cold+persist`` -- same, but over a :class:`~repro.serve.PlanCacheStore`
+      under ``cache_dir`` (the ``REPRO_PLAN_CACHE_DIR`` env var, or a
+      temporary directory), so every compile is persisted;
+    * ``persisted-restart`` -- a *fresh* cache over that store, the
+      simulated process restart: it must replan nothing;
+    * ``prewarmed`` -- fresh in-memory cache with ``start(prewarm=True)``:
+      all compiles happen before traffic, none during it.
+
+    The study is self-checking and raises ``RuntimeError`` when a regime
+    breaks its contract: a persisted restart that compiles, a prewarmed
+    start that compiles during traffic, or any synchronous in-loop
+    compile anywhere (the event-loop stall this subsystem exists to
+    prevent).  Scheduling runs on the simulated clock, so every row's
+    latency column is identical -- warmth changes *when plans are made*,
+    never what the batcher decides.
+    """
+    import asyncio
+    import tempfile
+
+    from ..serve import PlanCache, PlanCacheStore, percentile, replay
+
+    trace = scheduling_trace()
+    tmp = None
+    if cache_dir is None:
+        cache_dir = os.environ.get(WARMUP_CACHE_DIR_ENV)
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory()
+        cache_dir = tmp.name
+
+    def run(scheme: str, cache, *, prewarm: bool = False):
+        server = _scheduling_server(cache)
+
+        async def go():
+            await server.start(prewarm=prewarm)
+            started = cache.stats()
+            results = await replay(server, trace)
+            await server.stop()
+            return results, started
+
+        results, started = asyncio.run(go())
+        stats = cache.stats()
+        return {
+            "scheme": scheme,
+            "served": len(results),
+            "compiles": stats.compiles,
+            "in_traffic_compiles": stats.compiles - started.compiles,
+            "in_loop_compiles": stats.inloop_compiles,
+            "persisted_plans": stats.persisted_entries,
+            "persisted_hits": stats.persisted_hits,
+            "coalesced": stats.coalesced,
+            "p95_ms": percentile([r.latency_us for r in results], 95) / 1e3,
+        }
+
+    try:
+        rows = [
+            run("cold", PlanCache()),
+            run("cold+persist", PlanCache(store=PlanCacheStore(cache_dir))),
+            run(
+                "persisted-restart",
+                PlanCache(store=PlanCacheStore(cache_dir)),
+            ),
+            run("prewarmed", PlanCache(), prewarm=True),
+        ]
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    by = {r["scheme"]: r for r in rows}
+    if by["persisted-restart"]["compiles"]:
+        raise RuntimeError(
+            f"persisted restart replanned: {by['persisted-restart']}"
+        )
+    if by["prewarmed"]["in_traffic_compiles"]:
+        raise RuntimeError(
+            f"prewarmed start compiled during traffic: {by['prewarmed']}"
+        )
+    if any(r["in_loop_compiles"] for r in rows):
+        raise RuntimeError(
+            f"the event loop stalled on a synchronous compile: {rows}"
+        )
+    if len({r["p95_ms"] for r in rows}) != 1:
+        raise RuntimeError(
+            f"warmth changed scheduling (p95 differs across regimes): {rows}"
+        )
+    if os.environ.get(WARMUP_REQUIRE_PERSISTED_ENV) and (
+        by["cold+persist"]["compiles"]
+    ):
+        raise RuntimeError(
+            f"{WARMUP_REQUIRE_PERSISTED_ENV} is set but the persisted "
+            f"store missed (not populated by a previous process?): "
+            f"{by['cold+persist']}"
+        )
+    return rows

@@ -180,6 +180,26 @@ def _render_scheduling():
     )
 
 
+def _render_warmup():
+    rows = figures.warmup_study()
+    return (
+        "Warmup - cold vs persisted vs prewarmed starts (scheduling "
+        "workload, one APNN worker)\n"
+        + format_rows(
+            rows,
+            ["scheme", "served", "compiles", "in_traffic_compiles",
+             "in_loop_compiles", "persisted_plans", "persisted_hits",
+             "coalesced", "p95_ms"],
+        )
+        + "\n\ncold compiles run off the event loop (single-flight, thread "
+        "executor); a\npersisted store or a prewarmed start eliminates "
+        "in-traffic compiles\nentirely.  in_loop_compiles must be 0 "
+        "everywhere (the study raises\notherwise), and p95 is identical "
+        "across rows: warmth changes when plans\nare made, never what the "
+        "batcher decides."
+    )
+
+
 def _render_ablations():
     data = figures.ablation_design_choices()
     rows = [[k, v] for k, v in data.items()]
@@ -204,6 +224,7 @@ EXPERIMENTS = {
     "ablations": _render_ablations,
     "serving": _render_serving,
     "scheduling": _render_scheduling,
+    "warmup": _render_warmup,
 }
 
 

@@ -31,11 +31,12 @@ memoizes compiled plans so repeat requests never re-plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
 
 import numpy as np
 
-from ..core.types import PrecisionPair
+from ..core.types import Encoding, Precision, PrecisionPair
 from ..kernels.autotune import autotune
 from ..kernels.tiling import TileConfig
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
@@ -50,7 +51,7 @@ from ..perf.cost import (
 from ..perf.model import LatencyBreakdown, LatencyModel
 from ..tensorcore.counters import ExecutionCounters
 from ..tensorcore.device import DeviceSpec, RTX3090
-from .dataflow import DataflowPlan, plan_dataflow
+from .dataflow import DataflowPlan, GroupPlan, plan_dataflow
 from .fusion_pass import fuse_graph
 from .layers import (
     AdaptiveAvgPool2d,
@@ -219,6 +220,78 @@ class PlannedGroup:
     output_shape: tuple[int, ...]
 
 
+# ----------------------------------------------------------------------
+# plan serialization (used by repro.serve.PlanCacheStore)
+# ----------------------------------------------------------------------
+def _cost_to_dict(cost: KernelCost) -> dict[str, Any]:
+    return {
+        "name": cost.name,
+        "counters": {
+            f.name: getattr(cost.counters, f.name)
+            for f in fields(cost.counters)
+        },
+        "compute_class": cost.compute_class,
+        "efficiency_key": cost.efficiency_key,
+        "warps_per_block": cost.warps_per_block,
+        "smem_bytes_per_block": cost.smem_bytes_per_block,
+        "decompose_ops": cost.decompose_ops,
+        "combine_ops": cost.combine_ops,
+        "unique_read_bytes": cost.unique_read_bytes,
+    }
+
+
+def _cost_from_dict(data: Mapping[str, Any]) -> KernelCost:
+    return KernelCost(
+        name=data["name"],
+        counters=ExecutionCounters(**data["counters"]),
+        compute_class=data["compute_class"],
+        efficiency_key=data["efficiency_key"],
+        warps_per_block=data["warps_per_block"],
+        smem_bytes_per_block=data["smem_bytes_per_block"],
+        decompose_ops=data["decompose_ops"],
+        combine_ops=data["combine_ops"],
+        unique_read_bytes=data["unique_read_bytes"],
+    )
+
+
+def _precision_to_dict(p: Precision) -> dict[str, Any]:
+    return {"bits": p.bits, "encoding": p.encoding.value}
+
+
+def _precision_from_dict(data: Mapping[str, Any]) -> Precision:
+    return Precision(bits=data["bits"], encoding=Encoding(data["encoding"]))
+
+
+def _dataflow_to_dict(dataflow: DataflowPlan) -> dict[str, Any]:
+    return {
+        "pair": {
+            "weight": _precision_to_dict(dataflow.pair.weight),
+            "activation": _precision_to_dict(dataflow.pair.activation),
+        },
+        "groups": [
+            {
+                "name": g.name,
+                "weight_bits": g.weight_bits,
+                "activation_in_bits": g.activation_in_bits,
+                "out_bits": g.out_bits,
+                "is_gemm": g.is_gemm,
+                "out_elements": g.out_elements,
+            }
+            for g in dataflow.groups
+        ],
+    }
+
+
+def _dataflow_from_dict(data: Mapping[str, Any]) -> DataflowPlan:
+    return DataflowPlan(
+        groups=[GroupPlan(**g) for g in data["groups"]],
+        pair=PrecisionPair(
+            weight=_precision_from_dict(data["pair"]["weight"]),
+            activation=_precision_from_dict(data["pair"]["activation"]),
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class CompiledPlan:
     """Reusable execution plan: every planning decision, no pricing.
@@ -243,6 +316,61 @@ class CompiledPlan:
     def kernel_launches(self) -> int:
         return sum(
             c.counters.kernel_launches for g in self.groups for c in g.costs
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of every planning decision.
+
+        Captures the fused groups' kernel cost chains (which embed the
+        autotuned tile choices as counted work), the boundary-precision
+        dataflow, and the plan identity -- everything
+        :meth:`from_dict` needs to rebuild an equal plan, so a serving
+        process can persist compiled plans and a restarted one can price
+        them without replanning (:class:`repro.serve.PlanCacheStore`).
+        """
+        return {
+            "model_name": self.model_name,
+            "backend_name": self.backend_name,
+            "device_name": self.device_name,
+            "batch": self.batch,
+            "input_shape": list(self.input_shape),
+            "groups": [
+                {
+                    "name": g.name,
+                    "kind": g.kind,
+                    "costs": [_cost_to_dict(c) for c in g.costs],
+                    "output_shape": list(g.output_shape),
+                }
+                for g in self.groups
+            ],
+            "dataflow": (
+                _dataflow_to_dict(self.dataflow)
+                if self.dataflow is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompiledPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` (inverse, exact)."""
+        return cls(
+            model_name=data["model_name"],
+            backend_name=data["backend_name"],
+            device_name=data["device_name"],
+            batch=data["batch"],
+            input_shape=tuple(data["input_shape"]),
+            groups=tuple(
+                PlannedGroup(
+                    name=g["name"],
+                    kind=g["kind"],
+                    costs=tuple(_cost_from_dict(c) for c in g["costs"]),
+                    output_shape=tuple(g["output_shape"]),
+                )
+                for g in data["groups"]
+            ),
+            dataflow=(
+                _dataflow_from_dict(data["dataflow"])
+                if data["dataflow"] is not None else None
+            ),
         )
 
     def price(self, latency_model: LatencyModel) -> ModelReport:

@@ -9,7 +9,9 @@ latency tables (Tables 2-4) toward serving live traffic:
     LRU memo of compiled engine plans (fused groups + dataflow +
     autotuned tiles + kernel cost chains) keyed by (model, backend,
     precision, device, batch, input shape), so repeat requests never
-    re-plan.
+    re-plan.  Cold keys compile off-loop with single-flight dedup
+    (``ensure_async``), and a ``PlanCacheStore`` persists plans as
+    JSON lines so restarted servers start warm.
 ``batcher``
     Dynamic batching: sweeps candidate batch sizes through the latency
     model and picks the one maximizing modeled throughput under an SLO.
@@ -34,7 +36,15 @@ latency tables (Tables 2-4) toward serving live traffic:
 
 from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
 from .metrics import ServerMetrics, WorkerMetrics, percentile
-from .plan_cache import PlanCache, PlanCacheStats, PlanKey, backend_key
+from .plan_cache import (
+    STORE_SCHEMA_VERSION,
+    PlanCache,
+    PlanCacheStats,
+    PlanCacheStore,
+    PlanKey,
+    backend_key,
+    calibration_key,
+)
 from .policies import (
     AdmissionPolicy,
     AdmissionRejected,
@@ -64,7 +74,10 @@ __all__ = [
     "PlanKey",
     "PlanCache",
     "PlanCacheStats",
+    "PlanCacheStore",
+    "STORE_SCHEMA_VERSION",
     "backend_key",
+    "calibration_key",
     "BatchDecision",
     "DynamicBatcher",
     "DEFAULT_CANDIDATE_BATCHES",

@@ -17,7 +17,13 @@ The registry aggregates:
   deferrals, the high-water queue depth, per-request deadline misses
   (finish past arrival + SLO), and precision-autoswitch activity
   (switched batches, switch rate, mean modeled accuracy given up);
-* plan-cache and autotune-cache hit rates, pulled in at report time.
+* cold-start counters: plans compiled off-loop by worker loops after
+  traffic arrived (and the wall-clock stall those dispatches absorbed),
+  plus plans pre-compiled by ``start(prewarm=True)`` -- the one
+  deliberate exception to the simulated-time rule, because compile
+  stall is a wall-clock property of the process, not of the model;
+* plan-cache (incl. persistence) and autotune-cache hit rates, pulled
+  in at report time.
 """
 
 from __future__ import annotations
@@ -115,6 +121,17 @@ class ServerMetrics:
         self.rejected: dict[str, int] = {}
         self.deferred: dict[str, int] = {}
         self.max_queue_depth_seen: int = 0
+        #: Plans compiled off-loop by worker loops after traffic arrived.
+        self.cold_compiles: int = 0
+        #: Worker-loop iterations that hit a cold key and went async.
+        self.cold_dispatches: int = 0
+        #: Wall-clock microseconds those dispatches waited on compilation
+        #: (the event loop kept running; only the cold batch stalled).
+        self.compile_stall_us: float = 0.0
+        #: Plans compiled by ``start(prewarm=True)`` before traffic.
+        self.prewarmed_plans: int = 0
+        #: Wall-clock microseconds the prewarm pass took.
+        self.prewarm_us: float = 0.0
         self._autotune_baseline: AutotuneCacheStats | None = None
 
     # ------------------------------------------------------------------
@@ -132,6 +149,22 @@ class ServerMetrics:
         """Track the high-water mark of the admitted queue."""
         if depth > self.max_queue_depth_seen:
             self.max_queue_depth_seen = depth
+
+    # ------------------------------------------------------------------
+    # cold-start counters (server-level)
+    # ------------------------------------------------------------------
+    def record_cold_compile(self, plans: int, stall_us: float) -> None:
+        """One worker-loop dispatch that found cold keys: ``plans`` were
+        compiled off-loop while ``stall_us`` of wall time passed before
+        that batch could dispatch (other queues kept being served)."""
+        self.cold_compiles += plans
+        self.cold_dispatches += 1
+        self.compile_stall_us += stall_us
+
+    def record_prewarm(self, plans: int, elapsed_us: float) -> None:
+        """One ``start(prewarm=True)`` pass that compiled ``plans``."""
+        self.prewarmed_plans += plans
+        self.prewarm_us += elapsed_us
 
     @property
     def total_rejected(self) -> int:
@@ -252,6 +285,13 @@ class ServerMetrics:
             f"mean accuracy delta {self.mean_accuracy_delta:.4f}"
         )
         lines.append(f"deadline misses : {self.total_deadline_misses}")
+        lines.append(
+            f"cold start      : {self.cold_compiles} off-loop compiles over "
+            f"{self.cold_dispatches} cold dispatches "
+            f"({self.compile_stall_us / 1e3:.1f} ms wall), "
+            f"{self.prewarmed_plans} prewarmed plans "
+            f"({self.prewarm_us / 1e3:.1f} ms wall)"
+        )
         for name in sorted(self.workers):
             w = self.workers[name]
             lines.append(
@@ -268,6 +308,15 @@ class ServerMetrics:
                 f"plan cache      : hit rate {s.hit_rate:.3f} "
                 f"({s.hits}/{s.lookups} lookups, {s.entries} plans, "
                 f"{s.evictions} evictions)"
+            )
+            lines.append(
+                f"plan compiles   : {s.compiles} "
+                f"({s.inloop_compiles} in-loop, "
+                f"{s.offloaded_compiles} off-loop, "
+                f"{s.coalesced} coalesced waits, "
+                f"{s.compile_us / 1e3:.1f} ms wall); "
+                f"persisted {s.persisted_entries} loaded / "
+                f"{s.persisted_hits} hits"
             )
         a = self.autotune_stats()
         since = " since start" if self._autotune_baseline is not None else ""

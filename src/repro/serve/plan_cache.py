@@ -17,14 +17,32 @@ plans by every planning input:
 
 Eviction is LRU with a configurable capacity; every lookup updates the
 hit/miss counters the metrics layer reports.
+
+Cold starts are handled by two mechanisms on top of the LRU memo:
+
+* :meth:`PlanCache.ensure_async` compiles a missing key in a thread
+  executor with **single-flight deduplication** -- N coroutines racing
+  on one cold key trigger exactly one ``engine.compile()``; the rest
+  await the same in-flight future.  The event loop keeps scheduling
+  other work (submissions, warm dispatches) for the whole compile.
+* :class:`PlanCacheStore` persists every compiled plan (and its priced
+  total) as JSON lines under a cache directory.  A cache constructed
+  over a populated store starts warm: a restarted server replans
+  nothing.  Records carry a schema version, so a stale cache file from
+  an older layout degrades to a cold start instead of corrupt plans.
 """
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
+import json
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from ..nn.engine import APNNBackend, BNNBackend, CompiledPlan, InferenceEngine
 from ..perf.calibration import Calibration
@@ -33,9 +51,19 @@ __all__ = [
     "PlanKey",
     "PlanCacheStats",
     "PlanCache",
+    "PlanCacheStore",
+    "STORE_SCHEMA_VERSION",
     "backend_key",
     "calibration_key",
 ]
+
+#: Capacity of the per-object fingerprint memo (see ``PlanCache._memo_key``).
+_MEMO_CAPACITY = 1024
+
+#: Schema version stamped on every persisted plan record.  Bump when the
+#: serialized layout of :class:`~repro.nn.engine.CompiledPlan` or
+#: :class:`PlanKey` changes; loads skip records from any other version.
+STORE_SCHEMA_VERSION = 1
 
 
 def backend_key(backend) -> str:
@@ -67,6 +95,13 @@ def calibration_key(calibration: Calibration) -> tuple:
     return tuple(parts)
 
 
+def _freeze(value):
+    """Recursively turn JSON lists back into the tuples hashing needs."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class PlanKey:
     """Identity of one compiled plan and its priced total."""
@@ -78,15 +113,57 @@ class PlanKey:
     input_shape: tuple[int, ...]
     calibration: tuple
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (tuples flatten to arrays)."""
+        return {
+            "model": self.model,
+            "backend": self.backend,
+            "device": self.device,
+            "batch": self.batch,
+            "input_shape": list(self.input_shape),
+            "calibration": self.calibration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanKey":
+        return cls(
+            model=data["model"],
+            backend=data["backend"],
+            device=data["device"],
+            batch=data["batch"],
+            input_shape=tuple(data["input_shape"]),
+            calibration=_freeze(data["calibration"]),
+        )
+
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Lookup counters since construction (or the last ``clear()``)."""
+    """Lookup counters since construction (or the last ``clear()``).
+
+    Beyond the LRU's hit/miss/eviction accounting, the cold-start fields
+    say where plans came from and what they cost to make:
+
+    * ``compiles`` -- ``engine.compile()`` calls the cache performed;
+      ``inloop_compiles`` of them ran synchronously on the caller's
+      thread (the event-loop stall the async path exists to avoid),
+      the rest in an executor via :meth:`PlanCache.ensure_async`.
+    * ``coalesced`` -- async callers that found their key already
+      in flight and waited on the single compile instead of planning.
+    * ``persisted_entries`` -- plans loaded from the store at
+      construction; ``persisted_hits`` -- lookups those plans served.
+    * ``compile_us`` -- total wall-clock microseconds spent compiling.
+    """
 
     hits: int
     misses: int
     evictions: int
     entries: int
+    compiles: int = 0
+    inloop_compiles: int = 0
+    coalesced: int = 0
+    persisted_entries: int = 0
+    persisted_hits: int = 0
+    compile_us: float = 0.0
 
     @property
     def lookups(self) -> int:
@@ -96,29 +173,130 @@ class PlanCacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def offloaded_compiles(self) -> int:
+        """Compiles that ran in an executor, off the event loop."""
+        return self.compiles - self.inloop_compiles
+
+
+class PlanCacheStore:
+    """Append-only JSON-lines persistence for compiled plans.
+
+    One line per ``(PlanKey, CompiledPlan, priced total)``; the cache
+    appends on every miss and loads the whole file on construction, so a
+    restarted server starts with yesterday's plans already warm.  Loading
+    is defensive: records whose schema version differs from
+    :data:`STORE_SCHEMA_VERSION`, truncated lines, and malformed JSON are
+    all skipped (a stale or damaged cache degrades to recompilation, never
+    to a corrupt plan).  Duplicate keys keep the newest record.
+    """
+
+    def __init__(
+        self, cache_dir: str | Path, filename: str = "plans.jsonl"
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / filename
+
+    def load(self) -> OrderedDict[PlanKey, tuple[CompiledPlan, float]]:
+        """Every valid persisted record, oldest first (last write wins)."""
+        entries: OrderedDict[PlanKey, tuple[CompiledPlan, float]] = (
+            OrderedDict()
+        )
+        if not self.path.exists():
+            return entries
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("version") != STORE_SCHEMA_VERSION:
+                        continue
+                    key = PlanKey.from_dict(record["key"])
+                    plan = CompiledPlan.from_dict(record["plan"])
+                    total = float(record["total_us"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # stale schema / truncated write: recompile
+                entries[key] = (plan, total)
+                entries.move_to_end(key)
+        return entries
+
+    def append(
+        self, key: PlanKey, plan: CompiledPlan, total_us: float
+    ) -> None:
+        """Persist one freshly compiled plan (creates the dir lazily)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        record = {
+            "version": STORE_SCHEMA_VERSION,
+            "key": key.to_dict(),
+            "total_us": total_us,
+            "plan": plan.to_dict(),
+        }
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.load())
+
 
 class PlanCache:
     """LRU cache of :class:`CompiledPlan` objects plus their priced totals.
 
     ``get`` compiles through the supplied engine on a miss; ``total_us``
     additionally memoizes the plan priced with the engine's own latency
-    model, which is the hot call of the dynamic batcher's sweep.
+    model, which is the hot call of the dynamic batcher's sweep.  Both are
+    synchronous and stall their caller on a cold key; the serving layer
+    avoids that with :meth:`missing_batches` + :meth:`ensure_async`, which
+    compile off-thread with single-flight deduplication.  Constructing the
+    cache over a :class:`PlanCacheStore` preloads every persisted plan and
+    appends each new compile, so plans survive process restarts.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        store: PlanCacheStore | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.store = store
         self._plans: OrderedDict[PlanKey, tuple[CompiledPlan, float]] = (
             OrderedDict()
         )
         # backend_key()/calibration_key() are rebuild-heavy and the
         # batcher's sweep calls them per lookup; memoize per object (the
-        # strong ref pins the id).  Bounded and purged by clear().
-        self._fingerprints: dict[int, tuple[object, object]] = {}
+        # strong ref pins the id).  LRU-bounded at _MEMO_CAPACITY: going
+        # over evicts the stalest entries one by one, never the whole
+        # working set at once.
+        self._fingerprints: OrderedDict[int, tuple[object, object]] = (
+            OrderedDict()
+        )
+        # Single-flight registry: PlanKey -> future of the one in-flight
+        # compile.  Entries never outlive their ensure_async call.
+        self._inflight: dict[PlanKey, asyncio.Future] = {}
+        # Keys whose cached entry came from the persistent store.
+        self._persisted: set[PlanKey] = set()
+        # _compile runs on executor threads; timing counters take a lock.
+        self._timing_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._compiles = 0
+        self._inloop_compiles = 0
+        self._coalesced = 0
+        self._persisted_entries = 0
+        self._persisted_hits = 0
+        self._compile_us = 0.0
+        if store is not None:
+            for key, entry in store.load().items():
+                self._plans[key] = entry
+                self._persisted.add(key)
+            while len(self._plans) > self.max_entries:
+                evicted, _ = self._plans.popitem(last=False)
+                self._persisted.discard(evicted)
+            self._persisted_entries = len(self._persisted)
 
     # ------------------------------------------------------------------
     def key_for(
@@ -140,11 +318,14 @@ class PlanCache:
 
     def _memo_key(self, obj, compute):
         entry = self._fingerprints.get(id(obj))
-        if entry is None or entry[0] is not obj:
-            if len(self._fingerprints) >= 1024:
-                self._fingerprints.clear()
-            entry = (obj, compute(obj))
-            self._fingerprints[id(obj)] = entry
+        if entry is not None and entry[0] is obj:
+            self._fingerprints.move_to_end(id(obj))
+            return entry[1]
+        entry = (obj, compute(obj))
+        self._fingerprints[id(obj)] = entry
+        self._fingerprints.move_to_end(id(obj))
+        while len(self._fingerprints) > _MEMO_CAPACITY:
+            self._fingerprints.popitem(last=False)
         return entry[1]
 
     def get(
@@ -170,16 +351,125 @@ class PlanCache:
         entry = self._plans.get(key)
         if entry is not None:
             self._hits += 1
+            if key in self._persisted:
+                self._persisted_hits += 1
             self._plans.move_to_end(key)
             return entry
         self._misses += 1
-        plan = engine.compile(batch, input_shape)
-        total = plan.price(engine.latency_model).total_us
-        self._plans[key] = (plan, total)
-        if len(self._plans) > self.max_entries:
-            self._plans.popitem(last=False)
-            self._evictions += 1
+        plan, total = self._compile(key, engine, batch, input_shape, True)
+        self._insert(key, plan, total)
         return plan, total
+
+    def _compile(self, key, engine, batch, input_shape, inloop):
+        """Plan + price one cache miss (the overridable test seam).
+
+        Runs on the caller's thread for synchronous misses
+        (``inloop=True`` -- the event-loop stall the async path exists
+        to avoid) or on an executor thread (``inloop=False``).  Only
+        timing counters are touched here; cache structures are mutated
+        by the caller on the event-loop thread.
+        """
+        t0 = time.perf_counter()
+        plan = engine.compile(batch, tuple(input_shape))
+        total = plan.price(engine.latency_model).total_us
+        elapsed_us = (time.perf_counter() - t0) * 1e6
+        with self._timing_lock:
+            self._compiles += 1
+            if inloop:
+                self._inloop_compiles += 1
+            self._compile_us += elapsed_us
+        return plan, total
+
+    def _insert(self, key, plan, total, persist=True):
+        self._plans[key] = (plan, total)
+        self._persisted.discard(key)  # a fresh compile supersedes the store
+        if persist and self.store is not None:
+            self.store.append(key, plan, total)
+        if len(self._plans) > self.max_entries:
+            evicted, _ = self._plans.popitem(last=False)
+            self._persisted.discard(evicted)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # async path (cold keys, single-flight)
+    # ------------------------------------------------------------------
+    def missing_batches(
+        self,
+        engine: InferenceEngine,
+        batches: Sequence[int],
+        input_shape: tuple[int, ...],
+    ) -> tuple[int, ...]:
+        """The candidate batches whose plans are not cached yet."""
+        return tuple(
+            b for b in batches
+            if self.key_for(engine, b, input_shape) not in self._plans
+        )
+
+    def _compile_and_persist(self, key, engine, batch, input_shape):
+        """Executor-side half of ``ensure_async``: plan, price, persist.
+
+        The store append stays off the event-loop thread with the
+        compile -- blocking disk I/O per plan would reintroduce exactly
+        the loop stall the async path removes.
+        """
+        plan, total = self._compile(key, engine, batch, input_shape, False)
+        if self.store is not None:
+            self.store.append(key, plan, total)
+        return plan, total
+
+    async def ensure_async(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...] = (3, 224, 224),
+        *,
+        executor=None,
+    ) -> bool:
+        """Compile-and-cache one key without stalling the event loop.
+
+        Single-flight: concurrent callers racing on one cold key trigger
+        exactly one ``engine.compile()``; the rest await the same
+        in-flight future (and see its exception if it fails).  The
+        compile+price (and the store append, when persisting) runs in
+        ``executor`` (``None`` = the loop's default thread pool), so the
+        event loop keeps scheduling other coroutines -- submissions,
+        warm dispatches -- for the duration.  A warm key returns
+        immediately without touching the hit/miss counters; those belong
+        to the pricing lookups.
+
+        Returns ``True`` when this call performed the compile, ``False``
+        when the key was already warm or another caller's in-flight
+        compile covered it.
+        """
+        key = self.key_for(engine, batch, input_shape)
+        if key in self._plans:
+            return False
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self._coalesced += 1
+            await inflight
+            return False
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            plan, total = await loop.run_in_executor(
+                executor, self._compile_and_persist,
+                key, engine, batch, input_shape,
+            )
+        except BaseException as exc:
+            future.set_exception(exc)
+            # waiters re-raise on await; retrieve here so a waiterless
+            # failure doesn't log "exception was never retrieved"
+            future.exception()
+            raise
+        else:
+            self._misses += 1
+            self._insert(key, plan, total, persist=False)
+            future.set_result(None)
+            return True
+        finally:
+            del self._inflight[key]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -194,9 +484,19 @@ class PlanCache:
             misses=self._misses,
             evictions=self._evictions,
             entries=len(self._plans),
+            compiles=self._compiles,
+            inloop_compiles=self._inloop_compiles,
+            coalesced=self._coalesced,
+            persisted_entries=self._persisted_entries,
+            persisted_hits=self._persisted_hits,
+            compile_us=self._compile_us,
         )
 
     def clear(self) -> None:
         self._plans.clear()
         self._fingerprints.clear()
+        self._persisted.clear()
         self._hits = self._misses = self._evictions = 0
+        self._compiles = self._inloop_compiles = self._coalesced = 0
+        self._persisted_entries = self._persisted_hits = 0
+        self._compile_us = 0.0

@@ -29,14 +29,29 @@ batch service, in the same microseconds the paper's tables use.
 ``time_scale`` (real seconds per simulated microsecond) optionally slows
 the event loop down to interleave like real traffic; the default of 0
 runs as fast as asyncio can schedule.
+
+Cold starts never stall the event loop: when a worker's batching sweep
+would need plans that are not cached yet, the worker releases the
+condition lock and compiles them through
+:meth:`~repro.serve.plan_cache.PlanCache.ensure_async` (thread executor,
+single-flight across racing workers), then re-runs its selection against
+the live queues -- other workers keep draining warm queues and clients
+keep submitting for the whole compile.  ``start(prewarm=True)``
+pre-compiles the batcher's candidate batches for every (model, worker)
+pair before any traffic lands, and ``cache_dir=`` persists every
+compiled plan so a restarted server replans nothing.
 """
 
 from __future__ import annotations
 
 import asyncio
+import bisect
 import itertools
+import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..core.types import PrecisionPair
@@ -46,7 +61,7 @@ from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 from ..tensorcore.device import DeviceSpec
 from .batcher import DEFAULT_CANDIDATE_BATCHES, DynamicBatcher
 from .metrics import ServerMetrics
-from .plan_cache import PlanCache
+from .plan_cache import PlanCache, PlanCacheStore
 from .policies import (
     AdmissionPolicy,
     AdmissionRejected,
@@ -155,6 +170,15 @@ class InferenceServer:
     time_scale:
         Real seconds slept per simulated microsecond of batch service
         (0 = don't sleep, just yield).
+    cache_dir:
+        Optional directory for plan-cache persistence: the server builds
+        its :class:`~repro.serve.plan_cache.PlanCache` over a
+        :class:`~repro.serve.plan_cache.PlanCacheStore` there, loading
+        every previously compiled plan on construction and appending
+        each new one.  Mutually exclusive with ``plan_cache``.
+    compile_workers:
+        Size of the thread executor cold plan compilations run in
+        (both the worker loops' off-loop compiles and ``prewarm``).
     """
 
     def __init__(
@@ -170,6 +194,8 @@ class InferenceServer:
         autoswitch: PrecisionAutoswitcher | None = None,
         time_scale: float = 0.0,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        cache_dir: str | Path | None = None,
+        compile_workers: int = 2,
     ) -> None:
         if not models:
             raise ValueError("server needs at least one model")
@@ -177,12 +203,28 @@ class InferenceServer:
             raise ValueError("server needs at least one (backend, device)")
         if time_scale < 0:
             raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        if compile_workers < 1:
+            raise ValueError(
+                f"compile_workers must be >= 1, got {compile_workers}"
+            )
+        if plan_cache is not None and cache_dir is not None:
+            raise ValueError(
+                "pass plan_cache or cache_dir, not both (a supplied cache "
+                "keeps its own store configuration)"
+            )
         self.models: dict[str, ServedModel] = {
             name: m if isinstance(m, ServedModel) else ServedModel(m)
             for name, m in models.items()
         }
         self.batcher = DynamicBatcher(slo_ms, candidate_batches)
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        if plan_cache is not None:
+            self.plan_cache = plan_cache
+        elif cache_dir is not None:
+            self.plan_cache = PlanCache(store=PlanCacheStore(cache_dir))
+        else:
+            self.plan_cache = PlanCache()
+        self.compile_workers = compile_workers
+        self._executor: ThreadPoolExecutor | None = None
         self.metrics = ServerMetrics()
         self.discipline = make_discipline(discipline)
         self.admission = admission
@@ -269,20 +311,32 @@ class InferenceServer:
                 self.metrics.record_deferral(model)
                 self._deferred.append(req)
             else:
-                self._queues[model].append(req)
+                self._enqueue(req)
                 self.metrics.record_queue_depth(self.queue_depth)
             self._sim_now_us = max(self._sim_now_us, req.arrival_us)
             cond.notify_all()
         return await req.future
 
-    async def start(self) -> None:
-        """Spawn the worker loops (idempotent)."""
+    async def start(self, *, prewarm: bool = False) -> None:
+        """Spawn the worker loops (idempotent).
+
+        ``prewarm=True`` compiles the batcher's candidate batches for
+        every (model, worker) pair -- through the same single-flight
+        async path and executor the worker loops use -- before any
+        worker runs, so the first real traffic finds a warm plan cache.
+        """
         if self._running:
             return
         self._running = True
         self._cond = asyncio.Condition()
         self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.compile_workers,
+            thread_name_prefix="plan-compile",
+        )
         self.metrics.mark_autotune_baseline()
+        if prewarm:
+            await self._prewarm()
         self._tasks = [
             asyncio.create_task(
                 self._worker_loop(name, backend, device),
@@ -300,6 +354,9 @@ class InferenceServer:
             self._cond.notify_all()
         await asyncio.gather(*self._tasks)
         self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
         self._stopped.set()
 
     async def serve_forever(self) -> None:
@@ -326,6 +383,57 @@ class InferenceServer:
         """Effective latency objective of one model (override or global)."""
         override = self.models[model].slo_ms
         return self.batcher.slo_ms if override is None else override
+
+    def _enqueue(self, req: _PendingRequest) -> None:
+        """Insert one admitted request by arrival time (under the lock).
+
+        Queues must stay arrival-sorted: the worker loop's visibility
+        scan and its take-from-head dispatch both assume the head is the
+        earliest arrival, so an out-of-order ``submit(model,
+        arrival_us=...)`` appended at the tail would let a worker couple
+        an already-arrived request to a far-future one (or dispatch the
+        future one outright), violating non-clairvoyance.  Ties keep
+        submission order.
+        """
+        queue = self._queues[req.model]
+        if not queue or req.arrival_us >= queue[-1].arrival_us:
+            queue.append(req)
+            return
+        stamps = [r.arrival_us for r in queue]
+        queue.insert(bisect.bisect_right(stamps, req.arrival_us), req)
+
+    async def _prewarm(self) -> None:
+        """Pre-compile candidate plans for every (model, worker) pair.
+
+        Runs through :meth:`PlanCache.ensure_async`, so racing keys
+        dedupe (two workers with the same backend+device share plans)
+        and everything compiles in the executor concurrently.  Records
+        how many plans were actually compiled -- a persisted store may
+        already hold them all.
+        """
+        t0 = time.perf_counter()
+        jobs = []
+        seen = set()
+        for model_name, served in self.models.items():
+            for wname, backend, device in self._worker_specs:
+                engine = self._engines[(model_name, wname, "")]
+                for batch in self.batcher.candidate_batches:
+                    key = self.plan_cache.key_for(
+                        engine, batch, served.input_shape
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    jobs.append(
+                        self.plan_cache.ensure_async(
+                            engine, batch, served.input_shape,
+                            executor=self._executor,
+                        )
+                    )
+        compiled = await asyncio.gather(*jobs)
+        self.metrics.record_prewarm(
+            sum(compiled), (time.perf_counter() - t0) * 1e6
+        )
 
     def _require_started(self) -> asyncio.Condition:
         if self._cond is None or not self._running:
@@ -376,7 +484,9 @@ class InferenceServer:
         Must be called under the condition lock.  A stopping server
         flushes everything so drain-on-stop still answers every request;
         a running one respects the admission cap.  Promoted requests
-        keep their original arrival stamp and rejoin at the queue tail.
+        keep their original arrival stamp and rejoin in arrival order
+        (the queues' sorted invariant; ties land behind equal stamps,
+        i.e. at the tail for burst traffic).
         """
         if not self._deferred:
             return
@@ -388,8 +498,7 @@ class InferenceServer:
         while self._deferred and (
             not self._running or cap is None or self.queue_depth < cap
         ):
-            req = self._deferred.popleft()
-            self._queues[req.model].append(req)
+            self._enqueue(self._deferred.popleft())
             promoted = True
         if promoted:
             if self._running:
@@ -431,6 +540,7 @@ class InferenceServer:
         cond = self._cond
         sim_free_at_us = 0.0
         while True:
+            cold_batches: tuple[int, ...] = ()
             async with cond:
                 self._promote_deferred()
                 while self._running and self.queue_depth == 0:
@@ -480,24 +590,114 @@ class InferenceServer:
                     pair if switched else None,
                 )
                 slo_ms = self.slo_ms_for(model)
+                shape = self.models[model].input_shape
+                cold_batches = self.plan_cache.missing_batches(
+                    engine, self.batcher.eligible_batches(depth), shape
+                )
+                if cold_batches:
+                    # Cold cache: the batch sweep would compile inside
+                    # the lock and stall the whole event loop until the
+                    # cache warmed.  Reserve the visible requests (so
+                    # this worker's claim survives the await, exactly as
+                    # the old synchronous compile implied) and compile
+                    # them off-loop below.
+                    reserved = [queue.popleft() for _ in range(depth)]
+                else:
+                    try:
+                        decision = self.batcher.choose(
+                            depth, self._price_fn(engine, model),
+                            slo_ms=slo_ms,
+                        )
+                    except Exception as exc:
+                        # Pricing failed on a warm plan (rare; compile
+                        # failures surface on the cold path below).
+                        # Fail the visible requests' futures instead of
+                        # killing the worker and hanging every submit().
+                        for r in [queue.popleft() for _ in range(depth)]:
+                            if not r.future.done():
+                                r.future.set_exception(exc)
+                        continue
+                    take = min(decision.batch_size, depth)
+                    batch = [queue.popleft() for _ in range(take)]
+                    self._served_counts[model] += take
+                    self._slo_infeasible[model] = not decision.meets_slo
+                    self._promote_deferred()
+
+            if cold_batches:
+                # Compile off-loop; single-flight dedupes racing workers
+                # on shared keys.  Only this batch's dispatch waits --
+                # other workers keep draining warm queues and clients
+                # keep submitting for the whole compile.
+                stall_t0 = time.perf_counter()
                 try:
-                    decision = self.batcher.choose(
-                        depth, self._price_fn(engine, model), slo_ms=slo_ms
-                    )
+                    compiled = await asyncio.gather(*(
+                        self.plan_cache.ensure_async(
+                            engine, b, shape, executor=self._executor
+                        )
+                        for b in cold_batches
+                    ))
                 except Exception as exc:
-                    # Planning/pricing failed (e.g. a model/input-shape
-                    # mismatch surfacing at compile time).  Fail the
-                    # visible requests' futures instead of killing the
-                    # worker and hanging every submit() forever.
-                    for r in [queue.popleft() for _ in range(depth)]:
+                    # Compilation failed (e.g. a model/input-shape
+                    # mismatch).  Mirror the warm path's planning-error
+                    # handling: fail the reserved requests' futures and
+                    # keep the worker alive.  (Compiles this worker did
+                    # perform before the failure are counted by the plan
+                    # cache's own stats.)
+                    self.metrics.record_cold_compile(
+                        0, (time.perf_counter() - stall_t0) * 1e6
+                    )
+                    for r in reserved:
                         if not r.future.done():
                             r.future.set_exception(exc)
                     continue
-                take = min(decision.batch_size, depth)
-                batch = [queue.popleft() for _ in range(take)]
-                self._served_counts[model] += take
-                self._slo_infeasible[model] = not decision.meets_slo
-                self._promote_deferred()
+                # sum(compiled): only keys *this* worker actually
+                # compiled -- coalesced waits on another worker's
+                # in-flight compile must not double-count.
+                self.metrics.record_cold_compile(
+                    sum(compiled),
+                    (time.perf_counter() - stall_t0) * 1e6,
+                )
+                async with cond:
+                    # Decide with the depth captured at selection time:
+                    # the old in-lock compile saw exactly this backlog,
+                    # so warm-up must not change any batching outcome.
+                    try:
+                        decision = self.batcher.choose(
+                            depth, self._price_fn(engine, model),
+                            slo_ms=slo_ms,
+                        )
+                    except Exception as exc:
+                        # A capacity-squeezed cache may have evicted a
+                        # just-compiled key; a recompile can re-raise.
+                        for r in reserved:
+                            if not r.future.done():
+                                r.future.set_exception(exc)
+                        continue
+                    take = min(decision.batch_size, depth)
+                    batch = reserved[:take]
+                    rest = reserved[take:]
+                    if rest:
+                        # Unclaimed leftovers rejoin at the head (they
+                        # are the earliest arrivals) and idle workers
+                        # are woken to serve them.
+                        queue.extendleft(reversed(rest))
+                        stamps = [r.arrival_us for r in queue]
+                        if any(
+                            a > b for a, b in zip(stamps, stamps[1:])
+                        ):
+                            # an out-of-order submit landed mid-compile;
+                            # restore the arrival-sorted invariant
+                            # _enqueue's bisect relies on (stable: ties
+                            # keep leftovers-first order)
+                            ordered = sorted(
+                                queue, key=lambda r: r.arrival_us
+                            )
+                            queue.clear()
+                            queue.extend(ordered)
+                        cond.notify_all()
+                    self._served_counts[model] += take
+                    self._slo_infeasible[model] = not decision.meets_slo
+                    self._promote_deferred()
 
             start_us = now_us
             finish_us = start_us + decision.expected_latency_us

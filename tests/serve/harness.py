@@ -11,6 +11,12 @@ yields).  This harness packages the boilerplate:
 * :func:`make_server` builds a small two-model server (64x64 AlexNet
   with a tight SLO, 32x32 ResNet-18 with a loose one) on one APNN
   worker, so queues actually back up and disciplines differ;
+* :class:`RecordingPlanCache` is the compile-call/stall recorder: it
+  logs every ``engine.compile()`` the cache performs and whether it ran
+  synchronously on the caller's thread (``in_loop``, the event-loop
+  stall) or in an executor, so cold-start tests can assert *zero*
+  compiles after a persisted restart and single-flight dedup under
+  racing workers;
 * model construction is memoized per test session -- planning state
   lives in engines, so tests can share the network objects freely.
 
@@ -29,6 +35,7 @@ from repro.core import PrecisionPair
 from repro.nn import APNNBackend, alexnet, resnet18
 from repro.serve import (
     InferenceServer,
+    PlanCache,
     RejectedRequest,
     RequestResult,
     ServedModel,
@@ -88,6 +95,55 @@ def make_server(
     )
 
 
+@dataclass(frozen=True)
+class CompileCall:
+    """One ``engine.compile()`` performed by a :class:`RecordingPlanCache`.
+
+    ``in_loop=True`` means the compile ran synchronously on the calling
+    thread -- inside the server that would be the event-loop stall the
+    async plan path exists to eliminate, so serving tests assert it
+    never happens.
+    """
+
+    model: str
+    backend: str
+    batch: int
+    in_loop: bool
+
+
+class RecordingPlanCache(PlanCache):
+    """Plan cache that records every compile it performs (stall recorder).
+
+    Events append in completion order (executor compiles may finish out
+    of submission order); the list is safe to read after ``run_trace``
+    returns.  Only successful compiles are recorded -- a failing
+    ``engine.compile()`` raises through the normal error paths.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.compile_calls: list[CompileCall] = []
+
+    def _compile(self, key, engine, batch, input_shape, inloop):
+        result = super()._compile(key, engine, batch, input_shape, inloop)
+        self.compile_calls.append(
+            CompileCall(
+                model=key.model, backend=key.backend,
+                batch=batch, in_loop=inloop,
+            )
+        )
+        return result
+
+    @property
+    def in_loop_calls(self) -> list[CompileCall]:
+        """Compiles that stalled their caller (must stay empty in serving)."""
+        return [c for c in self.compile_calls if c.in_loop]
+
+    def compiled_keys(self) -> list[tuple[str, str, int]]:
+        """(model, backend, batch) per compile, for dedup assertions."""
+        return [(c.model, c.backend, c.batch) for c in self.compile_calls]
+
+
 @dataclass
 class HarnessRun:
     """One deterministic serving run plus assertion helpers."""
@@ -117,12 +173,15 @@ class HarnessRun:
 
 
 def run_trace(
-    server: InferenceServer, trace: tuple[TraceEvent, ...] | list[TraceEvent]
+    server: InferenceServer,
+    trace: tuple[TraceEvent, ...] | list[TraceEvent],
+    *,
+    prewarm: bool = False,
 ) -> HarnessRun:
     """Start, replay, stop -- entirely on the simulated clock."""
 
     async def _run():
-        await server.start()
+        await server.start(prewarm=prewarm)
         results, rejections = await replay(
             server, trace, include_rejections=True
         )

@@ -156,11 +156,45 @@ class TestEviction:
         cache._fingerprints.update(
             {-(i + 1): (object(), "x") for i in range(1024)}
         )
-        # Next lookup with a fresh backend object resets the memo instead
-        # of growing it without bound; the key result is unchanged.
+        # Next lookup with a fresh backend object evicts stale entries
+        # instead of growing without bound; the key result is unchanged.
         fresh = InferenceEngine(engine.model, APNNBackend(W1A2))
         assert cache.get(fresh, 8, SHAPE) is cache.get(engine, 8, SHAPE)
-        assert len(cache._fingerprints) < 1024 + 4
+        assert len(cache._fingerprints) <= 1024
+
+    def test_fingerprint_memo_evicts_oldest_not_everything(self):
+        """Regression: a full memo used to be wholesale-clear()ed,
+        discarding every hot backend/calibration fingerprint at once.
+        Overflow must evict the stalest entries one by one and keep
+        recently used ones memoized."""
+        cache = PlanCache()
+        counts = {"hot": 0}
+        hot = object()
+
+        def compute_hot(obj):
+            counts["hot"] += 1
+            return "hot-fingerprint"
+
+        assert cache._memo_key(hot, compute_hot) == "hot-fingerprint"
+        # fill to exactly capacity (hot + 1023 others), keeping refs so
+        # ids stay unique
+        fill = [object() for _ in range(1023)]
+        for obj in fill:
+            cache._memo_key(obj, lambda o: "fill")
+        assert len(cache._fingerprints) == 1024
+        # touch the hot entry, then overflow well past capacity
+        cache._memo_key(hot, compute_hot)
+        churn = [object() for _ in range(512)]
+        for obj in churn:
+            cache._memo_key(obj, lambda o: "churn")
+        assert len(cache._fingerprints) == 1024  # bounded, not cleared
+        # the recently used entry survived the overflow: no recompute
+        cache._memo_key(hot, compute_hot)
+        assert counts["hot"] == 1
+        # the stalest fill entries (untouched since insertion) are gone
+        assert id(fill[0]) not in cache._fingerprints
+        # the freshest churn entries are present
+        assert id(churn[-1]) in cache._fingerprints
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):

@@ -7,6 +7,7 @@ import pytest
 from repro.core import PrecisionPair
 from repro.nn import APNNBackend, BNNBackend, alexnet, resnet18
 from repro.serve import (
+    AdmissionPolicy,
     InferenceServer,
     PlanCache,
     ServedModel,
@@ -121,6 +122,67 @@ class TestServing:
         server = _server(models, time_scale=1e-9)
         results = _serve(server, burst_trace(16, sorted(models)))
         assert len(results) == 16
+
+    def test_out_of_order_submission_not_clairvoyant(self, models):
+        """Regression: queues are arrival-sorted, not submission-sorted.
+
+        Submitting a far-future arrival before an immediate one used to
+        leave the later stamp at the queue head, so the worker's
+        visibility scan (head-anchored) coupled the immediate request to
+        the future one: both dispatched together at the future stamp.
+        The immediate request must dispatch alone at its own arrival.
+        """
+        server = _server(models)
+
+        async def run():
+            await server.start()
+            late = asyncio.ensure_future(
+                server.submit("resnet18-32", arrival_us=50_000.0)
+            )
+            early = asyncio.ensure_future(
+                server.submit("resnet18-32", arrival_us=0.0)
+            )
+            out = await asyncio.gather(late, early)
+            await server.stop()
+            return out
+
+        late_res, early_res = asyncio.run(run())
+        assert early_res.start_us == 0.0
+        assert early_res.batch_requests == 1
+        assert late_res.start_us >= 50_000.0
+
+    def test_deferred_promotion_keeps_arrival_order(self, models):
+        """A promoted deferred request rejoins by arrival stamp, not at
+        the tail: behind an already-queued far-future arrival it would
+        otherwise be invisible (head-anchored scan) until that future
+        stamp, recreating the out-of-order coupling bug."""
+        server = InferenceServer(
+            models,
+            [(APNNBackend(W1A2), RTX3090)],
+            slo_ms=5.0,
+            admission=AdmissionPolicy(max_queue_depth=2, mode="defer"),
+        )
+
+        async def run():
+            await server.start()
+            a = asyncio.ensure_future(
+                server.submit("resnet18-32", arrival_us=0.0)
+            )
+            late = asyncio.ensure_future(
+                server.submit("resnet18-32", arrival_us=100_000.0)
+            )
+            # deferred at the cap; must rejoin *before* `late`
+            deferred = asyncio.ensure_future(
+                server.submit("resnet18-32", arrival_us=10.0)
+            )
+            out = await asyncio.gather(a, late, deferred)
+            await server.stop()
+            return out
+
+        a_res, late_res, deferred_res = asyncio.run(run())
+        assert a_res.start_us == 0.0
+        assert deferred_res.start_us < 100_000.0
+        assert late_res.start_us >= 100_000.0
 
 
 class TestLifecycle:

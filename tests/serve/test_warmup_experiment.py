@@ -1,0 +1,63 @@
+"""The `warmup` experiment's headline claims, asserted deterministically.
+
+These are the acceptance criteria of the cold-start fix, checked on the
+experiment's own seeded trace (not just printed by the CLI runner):
+
+* a cold start compiles, but only off the event loop;
+* a persisted restart (fresh cache over the store the previous run
+  wrote) performs **zero** compiles;
+* a prewarmed start performs zero compiles after traffic lands;
+* warmth never changes scheduling -- every regime's latency column is
+  identical, because plans are priced the same whether they were
+  compiled, loaded, or prewarmed.
+"""
+
+import pytest
+
+from repro.experiments.figures import SCHEDULING_NUM_REQUESTS, warmup_study
+
+pytestmark = [pytest.mark.serving, pytest.mark.integration]
+
+SCHEMES = ("cold", "cold+persist", "persisted-restart", "prewarmed")
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    return warmup_study(cache_dir=tmp_path_factory.mktemp("plan-store"))
+
+
+def _row(study, scheme):
+    matches = [r for r in study if r["scheme"] == scheme]
+    assert len(matches) == 1, (scheme, [r["scheme"] for r in study])
+    return matches[0]
+
+
+def test_every_regime_serves_the_full_trace(study):
+    assert [r["scheme"] for r in study] == list(SCHEMES)
+    for row in study:
+        assert row["served"] == SCHEDULING_NUM_REQUESTS
+
+
+def test_cold_start_compiles_off_loop_only(study):
+    cold = _row(study, "cold")
+    assert cold["compiles"] > 0
+    assert cold["in_traffic_compiles"] == cold["compiles"]
+    assert cold["in_loop_compiles"] == 0  # the stall this PR removes
+
+
+def test_persisted_restart_compiles_nothing(study):
+    restart = _row(study, "persisted-restart")
+    assert restart["compiles"] == 0
+    assert restart["persisted_plans"] == _row(study, "cold")["compiles"]
+    assert restart["persisted_hits"] > 0
+
+
+def test_prewarm_compiles_before_traffic_only(study):
+    pre = _row(study, "prewarmed")
+    assert pre["compiles"] > 0
+    assert pre["in_traffic_compiles"] == 0
+
+
+def test_warmth_does_not_change_scheduling(study):
+    p95s = {r["p95_ms"] for r in study}
+    assert len(p95s) == 1, study  # byte-identical latencies across regimes
