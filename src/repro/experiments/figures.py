@@ -53,6 +53,11 @@ __all__ = [
     "scheduling_study",
     "scheduling_trace",
     "warmup_study",
+    "placement_micro_net",
+    "placement_models",
+    "placement_trace",
+    "placement_policy",
+    "placement_study",
 ]
 
 GEMM_SIZES = tuple(range(128, 1025, 128))
@@ -718,6 +723,233 @@ def scheduling_study():
         )
     ]
     return {"rows": rows, "ladder": ladder}
+
+
+# ----------------------------------------------------------------------
+# placement study
+# ----------------------------------------------------------------------
+#: The placement workload's knobs, shared with ``tests/serve/harness.py``
+#: (the cluster simulator) so the study and its tests cannot drift onto
+#: different workloads.  Scales are mutually tuned: the micro-net's
+#: modeled batch-1 service rate is ~59k rps per replica, the trace's hot
+#: share puts ~64k rps on each hot model, and at 50% target utilization
+#: that demands 2-3 replicas while the cold tail (~5.6k rps each) stays
+#: at one.
+PLACEMENT_SEED = 7
+PLACEMENT_NUM_REQUESTS = 400
+PLACEMENT_RATE_RPS = 150_000.0
+PLACEMENT_HOT = ("hot-0", "hot-1")
+PLACEMENT_COLD = tuple(f"cold-{i}" for i in range(8))
+PLACEMENT_HOT_FRACTION = 0.85
+PLACEMENT_REBALANCE_US = 500.0
+PLACEMENT_WINDOW_US = 1_000.0
+PLACEMENT_WORKERS = 3
+PLACEMENT_BATCHES = (1, 2, 4, 8)
+PLACEMENT_INPUT_SHAPE = (3, 16, 16)
+PLACEMENT_SHARD_STAGES = 2
+
+_placement_net_cache: dict = {}
+
+
+def placement_micro_net(name: str, seed: int = 0):
+    """A distinctly named micro-CNN (conv-conv-pool-fc at 16x16).
+
+    Small enough that a ten-model cluster plans in milliseconds, real
+    enough that the cost model yields a meaningful latency ladder.
+    Memoized per (name, seed): model objects are read-only planning
+    inputs, so the study, the harness, and repeated runs can share them.
+    """
+    import numpy as _np
+
+    from ..nn.layers import (
+        Conv2d, Flatten, Linear, MaxPool2d, Quantize, ReLU,
+    )
+    from ..nn.module import Sequential
+
+    key = (name, seed)
+    if key not in _placement_net_cache:
+        r = _np.random.default_rng(seed)
+        c, h = 16, PLACEMENT_INPUT_SHAPE[1]
+        _placement_net_cache[key] = Sequential(
+            [
+                Conv2d(3, c, 3, 1, 1, rng=r, name="c1"),
+                ReLU(),
+                Quantize(2),
+                Conv2d(c, c, 3, 1, 1, rng=r, name="c2"),
+                ReLU(),
+                MaxPool2d(2, 2, name="p1"),
+                Quantize(2),
+                Flatten(),
+                Linear(c * (h // 2) * (h // 2), 10, rng=r, name="fc"),
+            ],
+            name=name,
+        )
+    return _placement_net_cache[key]
+
+
+def placement_models():
+    """The placement workload's 2-hot/8-cold model population."""
+    from ..serve import ServedModel
+
+    return {
+        name: ServedModel(
+            placement_micro_net(name, seed), PLACEMENT_INPUT_SHAPE
+        )
+        for seed, name in enumerate(PLACEMENT_HOT + PLACEMENT_COLD)
+    }
+
+
+def placement_trace():
+    """The one seeded skewed trace every placement row replays."""
+    from ..serve import skewed_trace
+
+    return skewed_trace(
+        PLACEMENT_RATE_RPS,
+        PLACEMENT_NUM_REQUESTS,
+        PLACEMENT_HOT,
+        PLACEMENT_COLD,
+        hot_fraction=PLACEMENT_HOT_FRACTION,
+        seed=PLACEMENT_SEED,
+    )
+
+
+def placement_policy(**overrides):
+    """The study's replication policy (see the scale notes above)."""
+    from ..serve import PlacementPolicy
+
+    kwargs = dict(
+        rebalance_every_us=PLACEMENT_REBALANCE_US,
+        window_us=PLACEMENT_WINDOW_US,
+        target_utilization=0.5,
+        service_batch=1,
+        min_requests=4,
+        max_replicas=2,
+    )
+    kwargs.update(overrides)
+    shard = kwargs.pop("shard", None)
+    if shard is not None:
+        return PlacementPolicy.sharded(shard, **kwargs)
+    return PlacementPolicy(**kwargs)
+
+
+def placement_study():
+    """Static vs replicated vs sharded placement on one skewed trace.
+
+    Replays the 2-hot/8-cold skew under four placements on a
+    three-worker APNN cluster:
+
+    * ``all-workers`` -- no placement layer: every worker serves every
+      model (the pre-placement server);
+    * ``static`` -- each model pinned to one worker, never rebalanced
+      (``max_replicas=1``);
+    * ``replicated`` -- metrics-driven replication: hot models earn a
+      second replica at the first epoch whose windowed arrival rate
+      exceeds one replica's modeled service rate;
+    * ``sharded`` -- the hot models additionally run pipeline-parallel
+      in two cost-balanced stages on distinct workers.
+
+    Self-checking: any dropped or reordered request fails the study (the
+    CI placement job runs it headless for exactly this reason), and the
+    ``replicated`` row must replicate exactly the hot set.
+    """
+    import asyncio
+
+    from ..serve import InferenceServer, PlanCache, percentile, replay
+    from ..core.types import PrecisionPair as _PP
+
+    trace = placement_trace()
+    cache = PlanCache(max_entries=1024)
+    pair = _PP.parse("w1a2")
+
+    def run(scheme: str, policy):
+        server = InferenceServer(
+            placement_models(),
+            [(APNNBackend(pair), RTX3090)] * PLACEMENT_WORKERS,
+            slo_ms=5.0,
+            candidate_batches=PLACEMENT_BATCHES,
+            plan_cache=cache,
+            placement=policy,
+        )
+
+        async def go():
+            await server.start(prewarm=True)
+            results = await replay(server, trace)
+            await server.stop()
+            return results
+
+        results = asyncio.run(go())
+        m = server.metrics
+        hot = [r.latency_us for r in results if r.model in PLACEMENT_HOT]
+        cold = [
+            r.latency_us for r in results if r.model in PLACEMENT_COLD
+        ]
+        counts = (
+            server.placement_controller.placement.replica_counts()
+            if server.placement_controller is not None
+            else {name: PLACEMENT_WORKERS for name in placement_models()}
+        )
+        row = {
+            "scheme": scheme,
+            "served": len(results),
+            "p95_ms": percentile([r.latency_us for r in results], 95) / 1e3,
+            "hot_p95_ms": percentile(hot, 95) / 1e3,
+            "cold_p95_ms": percentile(cold, 95) / 1e3,
+            "makespan_ms": server.sim_duration_us / 1e3,
+            "rebalances": m.rebalances,
+            "hot_replicas": max(counts[h] for h in PLACEMENT_HOT),
+            "stage_batches": m.total_stage_batches,
+            "dropped": m.dropped_requests,
+            "reordered": m.reordered_dispatches,
+        }
+        replicated = {
+            d.model
+            for d in (
+                server.placement_controller.decisions
+                if server.placement_controller is not None else []
+            )
+            if d.action == "replicate"
+        }
+        return row, replicated
+
+    rows = []
+    checks: dict[str, set] = {}
+    for scheme, policy in (
+        ("all-workers", None),
+        ("static", placement_policy(max_replicas=1)),
+        ("replicated", placement_policy()),
+        (
+            "sharded",
+            placement_policy(
+                shard={
+                    h: PLACEMENT_SHARD_STAGES for h in PLACEMENT_HOT
+                }
+            ),
+        ),
+    ):
+        row, replicated = run(scheme, policy)
+        rows.append(row)
+        checks[scheme] = replicated
+
+    for row in rows:
+        if row["dropped"] or row["reordered"]:
+            raise RuntimeError(
+                f"placement invariant violated (dropped/reordered "
+                f"requests): {row}"
+            )
+        if row["served"] != PLACEMENT_NUM_REQUESTS:
+            raise RuntimeError(
+                f"{row['scheme']} lost requests: {row}"
+            )
+    if checks["replicated"] != set(PLACEMENT_HOT):
+        raise RuntimeError(
+            f"replication targeted {sorted(checks['replicated'])}, "
+            f"expected exactly the hot set {sorted(PLACEMENT_HOT)}"
+        )
+    if rows[3]["stage_batches"] == 0:
+        raise RuntimeError(
+            "sharded row served no pipeline stages"
+        )
+    return rows
 
 
 # ----------------------------------------------------------------------

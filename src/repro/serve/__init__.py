@@ -23,6 +23,12 @@ latency tables (Tables 2-4) toward serving live traffic:
     Load management: admission control (shed/defer past a queue-depth
     cap) and precision autoswitching (degrade ``wXaY`` under backlog,
     trading modeled Table-1 accuracy for latency).
+``placement``
+    Which models live on which workers: metrics-driven replication of
+    hot models (windowed arrival rates vs modeled per-replica service
+    rates, rebalanced atomically at epoch boundaries) and
+    pipeline-parallel sharding of large models into cost-balanced
+    stages on distinct workers.
 ``server``
     Asyncio front end (``submit()`` / ``serve_forever()``) dispatching
     coalesced batches to worker loops across backends and devices on a
@@ -35,7 +41,18 @@ latency tables (Tables 2-4) toward serving live traffic:
 """
 
 from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
-from .metrics import ServerMetrics, WorkerMetrics, percentile
+from .metrics import ServerMetrics, StageMetrics, WorkerMetrics, percentile
+from .placement import (
+    ModelPlacement,
+    Placement,
+    PlacementController,
+    PlacementDecision,
+    PlacementPolicy,
+    StagePlan,
+    partition_units,
+    pipeline_stages,
+    run_pipeline,
+)
 from .plan_cache import (
     STORE_SCHEMA_VERSION,
     PlanCache,
@@ -68,6 +85,7 @@ from .trace import (
     burst_trace,
     poisson_trace,
     replay,
+    skewed_trace,
 )
 
 __all__ = [
@@ -82,8 +100,18 @@ __all__ = [
     "DynamicBatcher",
     "DEFAULT_CANDIDATE_BATCHES",
     "ServerMetrics",
+    "StageMetrics",
     "WorkerMetrics",
     "percentile",
+    "PlacementPolicy",
+    "PlacementController",
+    "PlacementDecision",
+    "Placement",
+    "ModelPlacement",
+    "StagePlan",
+    "partition_units",
+    "pipeline_stages",
+    "run_pipeline",
     "QueueDiscipline",
     "QueueSnapshot",
     "FIFODiscipline",
@@ -103,5 +131,6 @@ __all__ = [
     "RejectedRequest",
     "poisson_trace",
     "burst_trace",
+    "skewed_trace",
     "replay",
 ]

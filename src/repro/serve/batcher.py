@@ -67,9 +67,21 @@ class DynamicBatcher:
         self.slo_ms = slo_ms
         self.candidate_batches = tuple(cands)
 
-    def eligible_batches(self, queue_depth: int) -> tuple[int, ...]:
-        """Candidates no larger than the queue, plus one round-up size."""
-        depth = max(1, queue_depth)
+    def eligible_batches(
+        self, queue_depth: int, replicas: int = 1
+    ) -> tuple[int, ...]:
+        """Candidates no larger than this worker's backlog share.
+
+        ``replicas`` is how many workers the placement layer currently
+        points at this model's queue; each should claim roughly
+        ``depth / replicas`` so co-replicas are never starved of work
+        (and none over-compiles a batch sized for the whole backlog).
+        The share is rounded up to the next candidate size, so a
+        near-empty queue never waits to fill a wide batch.
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        depth = max(1, -(-max(1, queue_depth) // replicas))
         eligible = [b for b in self.candidate_batches if b <= depth]
         larger = [b for b in self.candidate_batches if b > depth]
         if larger:
@@ -82,6 +94,7 @@ class DynamicBatcher:
         price_us: Callable[[int], float],
         *,
         slo_ms: float | None = None,
+        replicas: int = 1,
     ) -> BatchDecision:
         """Decide the batch size for the current queue.
 
@@ -91,10 +104,15 @@ class DynamicBatcher:
         the scheduler passes each model's own objective
         (``ServedModel.slo_ms``) so mixed-SLO deployments batch each
         model against the deadline its clients actually hold.
+        ``replicas`` makes the decision placement-aware: a worker
+        sharing the queue with co-replicas sizes its batch for its share
+        of the backlog, not the whole of it.
         """
         if slo_ms is not None and slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
-        depth = max(1, queue_depth)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        depth = max(1, -(-max(1, queue_depth) // replicas))
         sweep = batch_size_sweep(price_us, self.eligible_batches(depth))
         slo_us = (self.slo_ms if slo_ms is None else slo_ms) * 1000.0
 

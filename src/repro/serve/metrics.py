@@ -22,12 +22,18 @@ The registry aggregates:
   plus plans pre-compiled by ``start(prewarm=True)`` -- the one
   deliberate exception to the simulated-time rule, because compile
   stall is a wall-clock property of the process, not of the model;
+* placement telemetry: per-model arrival-rate windows (the demand
+  signal replication decisions consume), replica-count gauges, per
+  pipeline-stage service counters, rebalance counters, and two
+  invariant guards -- ``dropped_requests`` and ``reordered_dispatches``
+  -- that must stay zero through any number of placement swaps;
 * plan-cache (incl. persistence) and autotune-cache hit rates, pulled
   in at report time.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -38,10 +44,13 @@ from ..kernels.autotune import AutotuneCacheStats
 from ..kernels.autotune import cache_stats as autotune_cache_stats
 from .plan_cache import PlanCache
 
-__all__ = ["percentile", "WorkerMetrics", "ServerMetrics"]
+__all__ = ["percentile", "WorkerMetrics", "StageMetrics", "ServerMetrics"]
 
 #: Sliding-window length for per-request latency percentiles.
 DEFAULT_LATENCY_WINDOW = 10_000
+
+#: Arrival stamps retained per model for the rate windows.
+DEFAULT_ARRIVAL_WINDOW = 4_096
 
 
 def percentile(values: Iterable[float], q: float) -> float:
@@ -108,12 +117,31 @@ class WorkerMetrics:
         return self.requests / (self.service_us_sum * 1e-6)
 
 
+@dataclass
+class StageMetrics:
+    """Service counters of one pipeline stage on one worker."""
+
+    model: str
+    stage: int
+    worker: str
+    batches: int = 0
+    requests: int = 0
+    service_us_sum: float = 0.0
+
+    @property
+    def mean_service_us(self) -> float:
+        return self.service_us_sum / self.batches if self.batches else 0.0
+
+
 class ServerMetrics:
     """Aggregated serving counters, keyed by worker name.
 
     The autotune cache is process-global; call :meth:`mark_autotune_baseline`
-    (the server does this on ``start()``) so the report shows the delta
-    attributable to this server's traffic rather than whole-process counters.
+    (the server does this on first ``start()``) so the report shows the
+    delta attributable to this server's traffic rather than whole-process
+    counters.  The baseline is marked once per server lifetime: a
+    ``stop()``/``start()`` cycle must keep accumulating, not silently
+    zero the history.
     """
 
     def __init__(self) -> None:
@@ -132,6 +160,26 @@ class ServerMetrics:
         self.prewarmed_plans: int = 0
         #: Wall-clock microseconds the prewarm pass took.
         self.prewarm_us: float = 0.0
+        #: Per-model arrival stamps (simulated us), newest last -- the
+        #: windowed demand signal placement decisions consume.
+        self.arrivals: dict[str, deque[float]] = {}
+        #: Pipeline-stage service counters, keyed (model, stage, worker).
+        self.stages: dict[tuple[str, int, str], StageMetrics] = {}
+        #: Placement epoch of the live assignment (0 = initial).
+        self.placement_epoch: int = 0
+        #: Rebalances that actually swapped the placement.
+        self.rebalances: int = 0
+        #: Replica slots added / removed across all rebalances.
+        self.replica_adds: int = 0
+        self.replica_removes: int = 0
+        #: Replica-count gauge per model, refreshed at each swap.
+        self.replica_counts: dict[str, int] = {}
+        #: Invariant guards: both must stay zero through any number of
+        #: placement swaps (CI fails the placement experiment otherwise).
+        self.dropped_requests: int = 0
+        self.reordered_dispatches: int = 0
+        #: Highest dispatched arrival stamp per model (reorder guard).
+        self._dispatch_watermark: dict[str, float] = {}
         self._autotune_baseline: AutotuneCacheStats | None = None
 
     # ------------------------------------------------------------------
@@ -166,6 +214,96 @@ class ServerMetrics:
         self.prewarmed_plans += plans
         self.prewarm_us += elapsed_us
 
+    # ------------------------------------------------------------------
+    # placement telemetry (server-level)
+    # ------------------------------------------------------------------
+    def record_arrival(
+        self, model: str, arrival_us: float,
+        window: int = DEFAULT_ARRIVAL_WINDOW,
+    ) -> None:
+        """One request arrival (before admission -- sheds count as demand)."""
+        q = self.arrivals.get(model)
+        if q is None:
+            q = self.arrivals[model] = deque(maxlen=window)
+        q.append(arrival_us)
+
+    def arrival_stats(
+        self, model: str, now_us: float, window_us: float
+    ) -> tuple[int, float]:
+        """(count, rate in rps) of arrivals in ``(now - window, now]``.
+
+        Stamps are nondecreasing for trace-driven traffic but a client
+        may submit out of order; the window scan sorts defensively so
+        the rate stays exact either way.
+        """
+        q = self.arrivals.get(model)
+        if not q:
+            return 0, 0.0
+        stamps = sorted(q)
+        lo = bisect.bisect_right(stamps, now_us - window_us)
+        hi = bisect.bisect_right(stamps, now_us)
+        count = hi - lo
+        return count, count / (window_us * 1e-6)
+
+    def record_stage(
+        self, model: str, stage: int, worker: str,
+        service_us: float, requests: int,
+    ) -> None:
+        """One pipeline-stage batch served on ``worker``."""
+        key = (model, stage, worker)
+        s = self.stages.get(key)
+        if s is None:
+            s = self.stages[key] = StageMetrics(
+                model=model, stage=stage, worker=worker
+            )
+        s.batches += 1
+        s.requests += requests
+        s.service_us_sum += service_us
+
+    def record_rebalance(
+        self, epoch: int, adds: int, removes: int,
+        replica_counts: dict[str, int],
+    ) -> None:
+        """One placement swap: the new epoch and its replica gauge."""
+        self.placement_epoch = epoch
+        self.rebalances += 1
+        self.replica_adds += adds
+        self.replica_removes += removes
+        self.replica_counts = dict(replica_counts)
+
+    def record_dispatch(
+        self, model: str, first_arrival_us: float, last_arrival_us: float
+    ) -> None:
+        """One batch leaving a model queue, in pop order.
+
+        Guards the placement invariant: dispatch order per model must
+        follow arrival order even while replicas come and go.  A batch
+        whose head precedes an already-dispatched arrival is a reorder
+        -- unless the client submitted retroactively, which
+        :meth:`note_out_of_order_submit` excuses.
+        """
+        watermark = self._dispatch_watermark.get(model)
+        if watermark is not None and first_arrival_us < watermark:
+            self.reordered_dispatches += 1
+        self._dispatch_watermark[model] = max(
+            watermark if watermark is not None else last_arrival_us,
+            last_arrival_us,
+        )
+
+    def note_out_of_order_submit(self, model: str, arrival_us: float) -> None:
+        """A client submitted an arrival stamp behind the queue tail.
+
+        Serving that request later is the *client's* reordering, not the
+        server's, so the reorder watermark rewinds to excuse it.
+        """
+        watermark = self._dispatch_watermark.get(model)
+        if watermark is not None and arrival_us < watermark:
+            self._dispatch_watermark[model] = arrival_us
+
+    def record_dropped(self, count: int) -> None:
+        """Requests left unresolved at drain -- must never happen."""
+        self.dropped_requests += count
+
     @property
     def total_rejected(self) -> int:
         return sum(self.rejected.values())
@@ -173,6 +311,43 @@ class ServerMetrics:
     @property
     def total_deferred(self) -> int:
         return sum(self.deferred.values())
+
+    @property
+    def total_stage_batches(self) -> int:
+        return sum(s.batches for s in self.stages.values())
+
+    def stage_service_us(self, model: str) -> dict[int, float]:
+        """Total per-stage service microseconds of one sharded model."""
+        out: dict[int, float] = {}
+        for (m, stage, _w), s in self.stages.items():
+            if m == model:
+                out[stage] = out.get(stage, 0.0) + s.service_us_sum
+        return dict(sorted(out.items()))
+
+    def snapshot(self) -> dict[str, float]:
+        """Scalar lifetime counters, for delta assertions across restarts."""
+        return {
+            "requests": self.total_requests,
+            "batches": self.total_batches,
+            "rejected": self.total_rejected,
+            "deferred": self.total_deferred,
+            "deadline_misses": self.total_deadline_misses,
+            "switched_batches": self.total_switched_batches,
+            "cold_compiles": self.cold_compiles,
+            "cold_dispatches": self.cold_dispatches,
+            "prewarmed_plans": self.prewarmed_plans,
+            "rebalances": self.rebalances,
+            "replica_adds": self.replica_adds,
+            "replica_removes": self.replica_removes,
+            "stage_batches": self.total_stage_batches,
+            "dropped_requests": self.dropped_requests,
+            "reordered_dispatches": self.reordered_dispatches,
+            "autotune_hits": self.autotune_stats().hits,
+        }
+
+    @property
+    def has_autotune_baseline(self) -> bool:
+        return self._autotune_baseline is not None
 
     def mark_autotune_baseline(self) -> None:
         """Snapshot the global autotune counters as this server's zero."""
@@ -285,6 +460,25 @@ class ServerMetrics:
             f"mean accuracy delta {self.mean_accuracy_delta:.4f}"
         )
         lines.append(f"deadline misses : {self.total_deadline_misses}")
+        lines.append(
+            f"placement       : epoch {self.placement_epoch}, "
+            f"{self.rebalances} rebalances "
+            f"(+{self.replica_adds}/-{self.replica_removes} replicas), "
+            f"dropped {self.dropped_requests}, "
+            f"reordered {self.reordered_dispatches}"
+        )
+        if self.replica_counts:
+            gauge = ", ".join(
+                f"{m}x{n}" for m, n in sorted(self.replica_counts.items())
+            )
+            lines.append(f"replicas        : {gauge}")
+        for key in sorted(self.stages):
+            s = self.stages[key]
+            lines.append(
+                f"  stage {s.model}[{s.stage}]@{s.worker}: "
+                f"{s.requests} reqs / {s.batches} batches, "
+                f"mean {s.mean_service_us / 1e3:.3f} ms"
+            )
         lines.append(
             f"cold start      : {self.cold_compiles} off-loop compiles over "
             f"{self.cold_dispatches} cold dispatches "

@@ -1,0 +1,634 @@
+"""Metrics-driven placement: replication and pipeline-parallel sharding.
+
+The server fans requests out across (backend, device) workers, but until
+this module nothing decided *which* models live on *which* workers:
+every worker served every model.  Placement closes that gap with two
+mechanisms, both priced through the same analytical cost stack the
+batcher uses:
+
+**Replication.**  Each model starts on one worker.  At every rebalance
+epoch the :class:`PlacementController` compares the model's windowed
+arrival rate (from :meth:`~repro.serve.metrics.ServerMetrics.arrival_stats`)
+against the modeled service rate of one replica -- the plan-cache-priced
+latency of the policy's reference batch -- and grows or shrinks the
+replica set so that ``arrival_rate <= target_utilization * service_rate
+* replicas``.  Hot models gain workers; cold models keep one.
+
+**Pipeline-parallel sharding.**  A model too large or slow for one
+device is split into contiguous stages along its top-level layer list.
+The split point is chosen by pricing the model's compiled plan per fused
+group (:mod:`repro.perf.cost` via the plan cache), attributing each
+group to the top-level layer that anchors it, and balanced-partitioning
+those per-layer costs so the slowest stage is as fast as possible.  Each
+stage becomes its own submodel (a :class:`StagePlan`) compiled through
+the normal :meth:`~repro.serve.plan_cache.PlanCache.ensure_async` path
+and placed on a distinct worker; the server's worker loops hand batches
+from stage to stage.  Because every stage applies the *same layer
+objects in the same order* as the unsharded model, the pipeline's
+functional output is byte-identical to the unsharded engine's
+(:func:`run_pipeline` is the reference implementation the tests assert
+with).
+
+Placements are immutable snapshots (:class:`Placement`); the controller
+swaps them atomically under the server's condition lock, strictly
+between batches, so a rebalance can never drop or reorder an in-flight
+request -- queued requests simply route to the new owner set, and
+dispatched pipeline batches carry the stage assignment they started
+with.  Every change is recorded as a :class:`PlacementDecision` and
+pushed to registered observers, which is what makes the policy
+deterministic and assertable on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..nn.module import Module, Sequential
+
+__all__ = [
+    "StagePlan",
+    "ModelPlacement",
+    "Placement",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PlacementController",
+    "pipeline_units",
+    "partition_units",
+    "pipeline_stages",
+    "run_pipeline",
+]
+
+
+# ----------------------------------------------------------------------
+# placement snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StagePlan:
+    """One pipeline stage: a contiguous slice of a model, pinned to a worker.
+
+    ``submodel`` wraps the *same layer objects* as the parent model (a
+    slice of its top-level layer list), so running the stages in order
+    is the exact computation of the unsharded model.  ``input_shape``
+    is the per-sample shape entering this stage (batch dim excluded),
+    and ``modeled_us`` is the partition-time cost-model estimate used to
+    balance the split (serving-time pricing goes through the plan
+    cache, per batch size).
+    """
+
+    model: str
+    index: int
+    num_stages: int
+    submodel: Sequential
+    input_shape: tuple[int, ...]
+    worker: str
+    modeled_us: float
+
+    @property
+    def name(self) -> str:
+        return self.submodel.name
+
+
+@dataclass(frozen=True)
+class ModelPlacement:
+    """Where one model runs: a replica set, or a pipeline of stages.
+
+    For a replicated (or single-owner) model, ``replicas`` names every
+    worker whose loop may dispatch it and ``stages`` is ``None``.  For a
+    sharded model, ``stages`` holds one :class:`StagePlan` per pipeline
+    stage; only the stage-0 owner dispatches from the model's queue, and
+    downstream stages receive handoff jobs.
+    """
+
+    model: str
+    replicas: tuple[str, ...]
+    stages: tuple[StagePlan, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError(f"model {self.model!r} placed on no worker")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError(
+                f"duplicate replica workers for {self.model!r}: "
+                f"{self.replicas}"
+            )
+        if self.stages is not None:
+            workers = [s.worker for s in self.stages]
+            if len(set(workers)) != len(workers):
+                raise ValueError(
+                    f"pipeline stages of {self.model!r} must land on "
+                    f"distinct workers, got {workers}"
+                )
+
+    def serves(self, worker: str) -> bool:
+        """May ``worker``'s loop dispatch this model from its queue?"""
+        if self.stages is not None:
+            return self.stages[0].worker == worker
+        return worker in self.replicas
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Immutable assignment of every model to its workers, one epoch."""
+
+    epoch: int
+    placements: Mapping[str, ModelPlacement]
+
+    def serves(self, worker: str, model: str) -> bool:
+        return self.placements[model].serves(worker)
+
+    def replicas_of(self, model: str) -> tuple[str, ...]:
+        return self.placements[model].replicas
+
+    def stages_of(self, model: str) -> tuple[StagePlan, ...] | None:
+        return self.placements[model].stages
+
+    def replica_counts(self) -> dict[str, int]:
+        return {
+            name: len(mp.replicas) for name, mp in self.placements.items()
+        }
+
+    def worker_load(self) -> dict[str, int]:
+        """Assignments per worker (each replica or stage counts one)."""
+        load: dict[str, int] = {}
+        for mp in self.placements.values():
+            if mp.stages is not None:
+                for s in mp.stages:
+                    load[s.worker] = load.get(s.worker, 0) + 1
+            else:
+                for w in mp.replicas:
+                    load[w] = load.get(w, 0) + 1
+        return load
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One recorded placement change (the observer/audit record)."""
+
+    epoch: int
+    sim_time_us: float
+    model: str
+    action: str  #: "replicate" | "shrink" | "shard"
+    workers: tuple[str, ...]  #: owner set after the action
+    arrival_rate_rps: float = 0.0
+    service_rate_rps: float = 0.0
+    target_replicas: int = 0
+
+    def key(self) -> tuple:
+        """Comparable identity (reproducibility assertions)."""
+        return (self.epoch, self.model, self.action, self.workers,
+                self.target_replicas)
+
+
+# ----------------------------------------------------------------------
+# policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Knobs of the placement layer (all rates/times are simulated).
+
+    ``rebalance_every_us``
+        Epoch length: the controller re-evaluates replica counts at most
+        once per this many simulated microseconds.
+    ``window_us``
+        Arrival-rate window: a model's demand is the request count whose
+        arrival stamps fall in the trailing window, over the window.
+    ``target_utilization``
+        Replicas are sized so each runs at or below this fraction of its
+        modeled service rate; lower values replicate earlier.
+    ``service_batch``
+        Reference batch whose plan-cache-priced latency defines one
+        replica's service rate (``batch / latency``).
+    ``max_replicas``
+        Cap on replicas per model (``None`` = the worker count).
+    ``min_requests``
+        Models with fewer windowed arrivals than this hold their current
+        placement -- noise suppression for the rate estimate.
+    ``shrink``
+        Whether replica sets may contract when demand drops.
+    ``shard``
+        ``(model, num_stages)`` pairs to pipeline-shard at start; each
+        stage lands on a distinct worker and the split is balanced by
+        the cost model.  Sharded models never replicate.
+    ``partition_batch``
+        Batch size of the full-model plan whose per-group costs drive
+        the balanced split.
+    """
+
+    rebalance_every_us: float = 50_000.0
+    window_us: float = 100_000.0
+    target_utilization: float = 0.75
+    service_batch: int = 8
+    max_replicas: int | None = None
+    min_requests: int = 4
+    shrink: bool = True
+    shard: tuple[tuple[str, int], ...] = ()
+    partition_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rebalance_every_us <= 0:
+            raise ValueError(
+                f"rebalance_every_us must be positive, got "
+                f"{self.rebalance_every_us}"
+            )
+        if self.window_us <= 0:
+            raise ValueError(
+                f"window_us must be positive, got {self.window_us}"
+            )
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError(
+                f"target_utilization must be in (0, 1], got "
+                f"{self.target_utilization}"
+            )
+        if self.service_batch < 1 or self.partition_batch < 1:
+            raise ValueError("service/partition batches must be >= 1")
+        if self.max_replicas is not None and self.max_replicas < 1:
+            raise ValueError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+        if self.min_requests < 1:
+            raise ValueError(
+                f"min_requests must be >= 1, got {self.min_requests}"
+            )
+        for model, num_stages in self.shard:
+            if num_stages < 2:
+                raise ValueError(
+                    f"sharding {model!r} needs >= 2 stages, got {num_stages}"
+                )
+
+    @classmethod
+    def sharded(
+        cls, shard: Mapping[str, int] | Iterable[tuple[str, int]], **kwargs
+    ) -> "PlacementPolicy":
+        """Convenience constructor from a ``{model: num_stages}`` spec."""
+        items = shard.items() if isinstance(shard, Mapping) else shard
+        return cls(shard=tuple(sorted((m, int(k)) for m, k in items)),
+                   **kwargs)
+
+    def target_replicas(
+        self, arrival_rate_rps: float, service_rate_rps: float,
+        num_workers: int,
+    ) -> int:
+        """Replica count sizing one model's demand at the utilization cap."""
+        cap = num_workers
+        if self.max_replicas is not None:
+            cap = min(cap, self.max_replicas)
+        if service_rate_rps <= 0:
+            return 1
+        need = math.ceil(
+            arrival_rate_rps / (self.target_utilization * service_rate_rps)
+        )
+        return max(1, min(cap, need))
+
+
+# ----------------------------------------------------------------------
+# pipeline partitioning
+# ----------------------------------------------------------------------
+def _module_ids(layer: Module) -> set[int]:
+    """ids of ``layer`` and every Module reachable inside it."""
+    ids = {id(layer)}
+    for value in vars(layer).values():
+        if isinstance(value, Module):
+            ids |= _module_ids(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    ids |= _module_ids(item)
+    return ids
+
+
+def pipeline_units(
+    model: Sequential, plan, latency_model
+) -> list[float]:
+    """Per-top-level-layer modeled cost, from a compiled plan's groups.
+
+    Fused groups are attributed to the top-level layer containing their
+    anchor (the main GEMM layer, or the first epilogue layer for
+    GEMM-less groups); a group fusing across a layer boundary -- e.g. a
+    quantize marker riding in the previous block's epilogue -- is billed
+    to the layer that anchors it.  Units are the only legal split
+    points, so a residual block is always scheduled whole.
+    """
+    owners: list[set[int]] = [_module_ids(layer) for layer in model.layers]
+    unit_us = [0.0] * len(model.layers)
+    # group order mirrors the layer walk; attribute each priced group
+    from ..nn.fusion_pass import fuse_graph
+
+    groups = fuse_graph(model)
+    if len(groups) != len(plan.groups):
+        raise ValueError(
+            f"plan has {len(plan.groups)} groups but the model fuses into "
+            f"{len(groups)}; was the plan compiled from this model?"
+        )
+    for group, planned in zip(groups, plan.groups):
+        anchor = group.main if group.main is not None else group.epilogue[0]
+        total = sum(latency_model.latency_us(c) for c in planned.costs)
+        for i, ids in enumerate(owners):
+            if id(anchor) in ids:
+                unit_us[i] += total
+                break
+        else:
+            raise ValueError(
+                f"fused group {group.name!r} anchors to no top-level layer "
+                f"of {model.name!r}"
+            )
+    return unit_us
+
+
+def partition_units(unit_us: Sequence[float], num_stages: int) -> list[int]:
+    """Balanced contiguous partition: boundaries minimizing the max stage.
+
+    Returns the ``num_stages - 1`` split indices (a stage ``s`` covers
+    units ``[bounds[s-1], bounds[s])``).  Classic interval-partition DP;
+    deterministic, preferring earlier splits on ties.
+    """
+    n = len(unit_us)
+    if not 1 <= num_stages <= n:
+        raise ValueError(
+            f"cannot split {n} units into {num_stages} stages"
+        )
+    prefix = [0.0]
+    for u in unit_us:
+        prefix.append(prefix[-1] + u)
+
+    def span(a: int, b: int) -> float:
+        return prefix[b] - prefix[a]
+
+    INF = float("inf")
+    # best[k][i]: minimal max-stage cost splitting units[:i] into k stages
+    best = [[INF] * (n + 1) for _ in range(num_stages + 1)]
+    cut = [[0] * (n + 1) for _ in range(num_stages + 1)]
+    best[0][0] = 0.0
+    for k in range(1, num_stages + 1):
+        for i in range(k, n + 1):
+            for j in range(k - 1, i):
+                cost = max(best[k - 1][j], span(j, i))
+                if cost < best[k][i]:
+                    best[k][i] = cost
+                    cut[k][i] = j
+    bounds: list[int] = []
+    i = n
+    for k in range(num_stages, 1, -1):
+        i = cut[k][i]
+        bounds.append(i)
+    bounds.reverse()
+    return bounds
+
+
+def pipeline_stages(
+    model_name: str,
+    model: Sequential,
+    input_shape: tuple[int, ...],
+    num_stages: int,
+    plan,
+    latency_model,
+) -> list[StagePlan]:
+    """Split a model into cost-balanced pipeline stages (workers unset).
+
+    ``plan`` is the unsharded :class:`~repro.nn.engine.CompiledPlan`
+    whose priced groups drive the balance; the returned stages carry
+    empty ``worker`` fields for the controller to fill.
+    """
+    unit_us = pipeline_units(model, plan, latency_model)
+    bounds = partition_units(unit_us, num_stages)
+    edges = [0] + bounds + [len(model.layers)]
+    stages: list[StagePlan] = []
+    shape: tuple[int, ...] = (1,) + tuple(input_shape)
+    for idx in range(num_stages):
+        a, b = edges[idx], edges[idx + 1]
+        sub = Sequential(
+            model.layers[a:b],
+            name=f"{model.name}#stage{idx + 1}of{num_stages}",
+        )
+        stages.append(
+            StagePlan(
+                model=model_name,
+                index=idx,
+                num_stages=num_stages,
+                submodel=sub,
+                input_shape=tuple(shape[1:]),
+                worker="",
+                modeled_us=sum(unit_us[a:b]),
+            )
+        )
+        shape = sub.output_shape(shape)
+    return stages
+
+
+def run_pipeline(
+    stages: Sequence[StagePlan], x: np.ndarray
+) -> np.ndarray:
+    """Functional reference: feed ``x`` through the stages in order.
+
+    Because stages are contiguous slices of the parent model's layer
+    list, this is the same computation as the unsharded forward -- the
+    byte-identity the sharding tests assert.
+    """
+    for stage in sorted(stages, key=lambda s: s.index):
+        x = stage.submodel.forward(x)
+    return x
+
+
+# ----------------------------------------------------------------------
+# controller
+# ----------------------------------------------------------------------
+class PlacementController:
+    """Owns the live :class:`Placement` and evolves it at epoch boundaries.
+
+    The controller is deliberately pure bookkeeping: the server feeds it
+    arrival and service rates (already simulated-clock quantities) and
+    it returns new placements; it never touches queues or engines, which
+    is what lets a rebalance be an atomic snapshot swap under the
+    server's lock.  ``observers`` are called with every
+    :class:`PlacementDecision`; ``decisions`` and ``history`` keep the
+    full audit trail for the tests and the placement experiment.
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy,
+        model_names: Iterable[str],
+        worker_names: Sequence[str],
+    ) -> None:
+        self.policy = policy
+        self.workers = tuple(worker_names)
+        if not self.workers:
+            raise ValueError("placement needs at least one worker")
+        models = sorted(model_names)
+        sharded = dict(policy.shard)
+        unknown = sorted(set(sharded) - set(models))
+        if unknown:
+            raise ValueError(
+                f"shard spec names unknown models: {unknown}"
+            )
+        for name, k in sharded.items():
+            if k > len(self.workers):
+                raise ValueError(
+                    f"cannot shard {name!r} into {k} stages on "
+                    f"{len(self.workers)} workers (stages need distinct "
+                    f"workers)"
+                )
+        self.decisions: list[PlacementDecision] = []
+        self.observers: list[Callable[[PlacementDecision], None]] = []
+        self.history: list[Placement] = []
+        self.evaluations = 0
+        self._next_rebalance_us = policy.rebalance_every_us
+        # Deterministic initial spread: sorted models round-robin onto
+        # the least-loaded worker (spec order breaking ties).
+        load = {w: 0 for w in self.workers}
+        placements: dict[str, ModelPlacement] = {}
+        for name in models:
+            worker = min(
+                self.workers, key=lambda w: (load[w], self.workers.index(w))
+            )
+            load[worker] += 1
+            placements[name] = ModelPlacement(model=name, replicas=(worker,))
+        self.placement = Placement(epoch=0, placements=placements)
+        self.history.append(self.placement)
+
+    # ------------------------------------------------------------------
+    def _record(self, decision: PlacementDecision) -> None:
+        self.decisions.append(decision)
+        for observer in self.observers:
+            observer(decision)
+
+    def _least_loaded(
+        self, load: dict[str, int], exclude: Iterable[str] = ()
+    ) -> str | None:
+        candidates = [w for w in self.workers if w not in set(exclude)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (load.get(w, 0),
+                                              self.workers.index(w)))
+
+    def install_stages(
+        self, model: str, stages: Sequence[StagePlan], sim_time_us: float = 0.0
+    ) -> tuple[StagePlan, ...]:
+        """Pin a freshly partitioned pipeline onto distinct workers.
+
+        Called by the server at start, after the cost-model split is
+        known.  Stages land on the least-loaded distinct workers; the
+        stage-0 owner becomes the model's dispatch entry.
+        """
+        load = self.placement.worker_load()
+        # the model's provisional single-replica slot is being replaced
+        for w in self.placement.replicas_of(model):
+            load[w] = load.get(w, 0) - 1
+        assigned: list[StagePlan] = []
+        taken: list[str] = []
+        for stage in sorted(stages, key=lambda s: s.index):
+            worker = self._least_loaded(load, exclude=taken)
+            if worker is None:
+                raise ValueError(
+                    f"not enough distinct workers for {model!r}'s "
+                    f"{len(stages)} stages"
+                )
+            taken.append(worker)
+            load[worker] = load.get(worker, 0) + 1
+            assigned.append(replace(stage, worker=worker))
+        pinned = tuple(assigned)
+        placements = dict(self.placement.placements)
+        placements[model] = ModelPlacement(
+            model=model, replicas=(pinned[0].worker,), stages=pinned
+        )
+        self.placement = Placement(
+            epoch=self.placement.epoch, placements=placements
+        )
+        self.history.append(self.placement)
+        self._record(
+            PlacementDecision(
+                epoch=self.placement.epoch,
+                sim_time_us=sim_time_us,
+                model=model,
+                action="shard",
+                workers=tuple(s.worker for s in pinned),
+                target_replicas=len(pinned),
+            )
+        )
+        return pinned
+
+    # ------------------------------------------------------------------
+    def due(self, sim_now_us: float) -> bool:
+        """Has the next rebalance epoch arrived on the simulated clock?"""
+        return sim_now_us >= self._next_rebalance_us
+
+    def rebalance(
+        self,
+        sim_now_us: float,
+        arrival_rates_rps: Mapping[str, float],
+        service_rates_rps: Mapping[str, float | None],
+    ) -> tuple[int, int] | None:
+        """Re-size replica sets; returns ``(adds, removes)`` on a swap.
+
+        ``arrival_rates_rps`` holds only models whose windowed sample is
+        trustworthy (the server applies ``min_requests``);
+        ``service_rates_rps`` may map a model to ``None`` when its
+        reference plan is not warm yet -- such models hold their current
+        placement this epoch.  Sharded models never change.
+        """
+        every = self.policy.rebalance_every_us
+        self._next_rebalance_us = (
+            math.floor(sim_now_us / every) + 1
+        ) * every
+        self.evaluations += 1
+        placements = dict(self.placement.placements)
+        epoch = self.placement.epoch + 1
+        adds = removes = 0
+        pending: list[PlacementDecision] = []
+        load = self.placement.worker_load()
+        for model in sorted(placements):
+            mp = placements[model]
+            if mp.stages is not None:
+                continue
+            if model not in arrival_rates_rps:
+                continue
+            service = service_rates_rps.get(model)
+            if service is None or service <= 0:
+                continue
+            rate = arrival_rates_rps[model]
+            target = self.policy.target_replicas(
+                rate, service, len(self.workers)
+            )
+            current = len(mp.replicas)
+            if target > current:
+                replicas = list(mp.replicas)
+                for _ in range(target - current):
+                    worker = self._least_loaded(load, exclude=replicas)
+                    if worker is None:
+                        break
+                    replicas.append(worker)
+                    load[worker] = load.get(worker, 0) + 1
+                    adds += 1
+                placements[model] = replace(mp, replicas=tuple(replicas))
+                pending.append(
+                    PlacementDecision(
+                        epoch=epoch, sim_time_us=sim_now_us, model=model,
+                        action="replicate", workers=tuple(replicas),
+                        arrival_rate_rps=rate, service_rate_rps=service,
+                        target_replicas=target,
+                    )
+                )
+            elif target < current and self.policy.shrink:
+                keep = mp.replicas[:target]
+                for worker in mp.replicas[target:]:
+                    load[worker] = load.get(worker, 0) - 1
+                    removes += 1
+                placements[model] = replace(mp, replicas=keep)
+                pending.append(
+                    PlacementDecision(
+                        epoch=epoch, sim_time_us=sim_now_us, model=model,
+                        action="shrink", workers=keep,
+                        arrival_rate_rps=rate, service_rate_rps=service,
+                        target_replicas=target,
+                    )
+                )
+        if not pending:
+            return None
+        self.placement = Placement(epoch=epoch, placements=placements)
+        self.history.append(self.placement)
+        for decision in pending:
+            self._record(decision)
+        return adds, removes

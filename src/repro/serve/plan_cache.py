@@ -346,6 +346,22 @@ class PlanCache:
         """Cached end-to-end modeled latency of the plan, in microseconds."""
         return self._lookup(engine, batch, input_shape)[1]
 
+    def peek_total_us(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...] = (3, 224, 224),
+    ) -> float | None:
+        """The priced total if (and only if) the key is already warm.
+
+        A pure read: no compile, no LRU reorder, no counter churn.  The
+        placement layer's rebalance decisions run under the server's
+        condition lock, where a synchronous compile would stall the
+        event loop -- cold models simply skip that epoch instead.
+        """
+        entry = self._plans.get(self.key_for(engine, batch, input_shape))
+        return None if entry is None else entry[1]
+
     def _lookup(self, engine, batch, input_shape):
         key = self.key_for(engine, batch, input_shape)
         entry = self._plans.get(key)

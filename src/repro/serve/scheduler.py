@@ -61,11 +61,21 @@ class QueueSnapshot:
     head_deadline_us: float
     weight: float
     served: int
+    #: Workers currently hosting this model (1 without a placement
+    #: layer).  A replicated model earned its replicas by being hot, so
+    #: disciplines treat the count as a service-share multiplier.
+    replicas: int = 1
 
     @property
     def normalized_service(self) -> float:
-        """Service received per unit weight (WFQ's virtual-time proxy)."""
-        return self.served / self.weight
+        """Service received per unit share (WFQ's virtual-time proxy).
+
+        The share is ``weight * replicas``: the placement layer grants
+        hot models more replicas, and fair queueing on each worker
+        honors that grant instead of fighting it.  With ``replicas=1``
+        (no placement layer) this is the classic served-over-weight.
+        """
+        return self.served / (self.weight * self.replicas)
 
 
 class QueueDiscipline(ABC):

@@ -40,6 +40,20 @@ keep submitting for the whole compile.  ``start(prewarm=True)``
 pre-compiles the batcher's candidate batches for every (model, worker)
 pair before any traffic lands, and ``cache_dir=`` persists every
 compiled plan so a restarted server replans nothing.
+
+Placement (:mod:`repro.serve.placement`) decides *which* models each
+worker loop may dispatch.  Without a policy every worker serves every
+model (the original behavior).  With one, each model starts on a single
+worker; at rebalance epochs the controller compares windowed arrival
+rates against modeled per-replica service rates and grows or shrinks
+replica sets, swapping the immutable placement snapshot atomically
+under the condition lock -- strictly between batches, so queued
+requests simply re-route and nothing is dropped or reordered (both
+guarded by metrics counters).  Sharded models run pipeline-parallel:
+the stage-0 owner dispatches from the queue, serves its stage, and
+hands the batch to the next stage's worker through per-worker stage
+queues; the last stage resolves the futures.  Every stage is priced
+through the same plan cache as whole models.
 """
 
 from __future__ import annotations
@@ -61,6 +75,12 @@ from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 from ..tensorcore.device import DeviceSpec
 from .batcher import DEFAULT_CANDIDATE_BATCHES, DynamicBatcher
 from .metrics import ServerMetrics
+from .placement import (
+    PlacementController,
+    PlacementPolicy,
+    StagePlan,
+    pipeline_stages,
+)
 from .plan_cache import PlanCache, PlanCacheStore
 from .policies import (
     AdmissionPolicy,
@@ -111,6 +131,9 @@ class RequestResult:
     deadline_us: float = float("inf")  #: arrival + the model's SLO
     pair: str = ""        #: wXaY pair actually served (APNN workers)
     switched: bool = False  #: True when the pair was autoswitch-degraded
+    #: Per-stage worker names for pipeline-sharded models (empty when
+    #: the model ran whole on ``worker``).
+    stages: tuple[str, ...] = ()
 
     @property
     def wait_us(self) -> float:
@@ -141,6 +164,30 @@ class _PendingRequest:
     future: asyncio.Future = field(repr=False)
 
 
+@dataclass
+class _StageJob:
+    """One batch travelling a sharded model's pipeline.
+
+    Created by the stage-0 owner at dispatch and handed worker-to-worker
+    through the per-worker stage queues; the final stage resolves the
+    requests' futures.  The job carries the stage assignment it was
+    dispatched with, so a rebalance can never strand it mid-pipeline.
+    """
+
+    model: str
+    stages: tuple[StagePlan, ...]
+    stage_idx: int
+    requests: list[_PendingRequest]
+    batch_size: int
+    expected_latency_us: float  #: full-pipeline modeled latency
+    meets_slo: bool
+    depth: int       #: queue depth at dispatch
+    slo_us: float
+    pair_name: str
+    ready_us: float  #: simulated instant the previous stage finished
+    start_us: float  #: stage-0 service start (the requests' start)
+
+
 class InferenceServer:
     """Dispatches submitted requests across backend/device worker pairs.
 
@@ -167,6 +214,13 @@ class InferenceServer:
     autoswitch:
         Optional :class:`~repro.serve.policies.PrecisionAutoswitcher`
         downgrading APNN workers' precision under backlog.
+    placement:
+        Optional :class:`~repro.serve.placement.PlacementPolicy`.  When
+        given, each model starts on one worker and the server rebalances
+        replica sets at epoch boundaries from the metrics layer's
+        arrival-rate windows; models named in the policy's ``shard``
+        spec run pipeline-parallel across distinct workers.  ``None``
+        keeps the original any-worker-serves-any-model behavior.
     time_scale:
         Real seconds slept per simulated microsecond of batch service
         (0 = don't sleep, just yield).
@@ -192,6 +246,7 @@ class InferenceServer:
         discipline: str | QueueDiscipline = "fifo",
         admission: AdmissionPolicy | None = None,
         autoswitch: PrecisionAutoswitcher | None = None,
+        placement: PlacementPolicy | None = None,
         time_scale: float = 0.0,
         calibration: Calibration = DEFAULT_CALIBRATION,
         cache_dir: str | Path | None = None,
@@ -239,6 +294,27 @@ class InferenceServer:
             seen[base] = seen.get(base, 0) + 1
             name = base if seen[base] == 1 else f"{base}#{seen[base]}"
             self._worker_specs.append((name, backend, device))
+        self._workers_by_name = {
+            name: (backend, device)
+            for name, backend, device in self._worker_specs
+        }
+
+        self.placement_controller: PlacementController | None = None
+        if placement is not None:
+            self.placement_controller = PlacementController(
+                placement, self.models, [n for n, _, _ in self._worker_specs]
+            )
+            self.metrics.replica_counts = (
+                self.placement_controller.placement.replica_counts()
+            )
+        #: Per-worker queues of in-flight pipeline handoffs.
+        self._stage_queues: dict[str, deque[_StageJob]] = {
+            name: deque() for name, _, _ in self._worker_specs
+        }
+        #: Engines of pipeline stages, keyed (model, stage index, worker).
+        self._stage_engines: dict[tuple[str, int, str], InferenceEngine] = {}
+        #: Pipeline batches dispatched but not yet fully resolved.
+        self._pipeline_inflight = 0
 
         # One engine per (model, worker, precision): planning state (fused
         # groups, latency model) is reusable across requests.  Key "" is
@@ -298,6 +374,9 @@ class InferenceServer:
             # awaited it would leave this request queued forever.
             if not self._running:
                 raise RuntimeError("server is stopped; no worker will serve")
+            # Demand is recorded before admission: a shed request is
+            # still arrival pressure the placement layer should see.
+            self.metrics.record_arrival(model, req.arrival_us)
             if self.admission is not None and not self.admission.admits(
                 self.queue_depth, self._slo_infeasible[model]
             ):
@@ -334,7 +413,13 @@ class InferenceServer:
             max_workers=self.compile_workers,
             thread_name_prefix="plan-compile",
         )
-        self.metrics.mark_autotune_baseline()
+        # Mark once per server lifetime: re-marking on a restart would
+        # silently zero the autotune delta accumulated by earlier runs
+        # (the restart-metrics regression test guards this).
+        if not self.metrics.has_autotune_baseline:
+            self.metrics.mark_autotune_baseline()
+        if self.placement_controller is not None:
+            await self._install_pipelines()
         if prewarm:
             await self._prewarm()
         self._tasks = [
@@ -357,6 +442,34 @@ class InferenceServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        # Drain accounting: workers exit only once every queue, stage
+        # queue and pipeline is empty, so leftovers here are a bug.  The
+        # counter makes it loud and the failed futures keep clients from
+        # hanging on it.
+        leftovers = [r for q in self._queues.values() for r in q]
+        leftovers += list(self._deferred)
+        leftovers += [
+            r
+            for jobs in self._stage_queues.values()
+            for job in jobs
+            for r in job.requests
+        ]
+        if leftovers:
+            self.metrics.record_dropped(len(leftovers))
+            for q in self._queues.values():
+                q.clear()
+            self._deferred.clear()
+            for jobs in self._stage_queues.values():
+                jobs.clear()
+            for r in leftovers:
+                if not r.future.done():
+                    r.future.set_exception(
+                        RuntimeError(
+                            f"request {r.request_id} for {r.model!r} was "
+                            f"dropped at server stop (drain invariant "
+                            f"violated)"
+                        )
+                    )
         self._stopped.set()
 
     async def serve_forever(self) -> None:
@@ -395,6 +508,11 @@ class InferenceServer:
         future one outright), violating non-clairvoyance.  Ties keep
         submission order.
         """
+        # A stamp behind already-dispatched arrivals is the client
+        # reordering, not the server: rewind the dispatch-order
+        # watermark so serving it later does not count against the
+        # placement invariant (no-op for in-order traffic).
+        self.metrics.note_out_of_order_submit(req.model, req.arrival_us)
         queue = self._queues[req.model]
         if not queue or req.arrival_us >= queue[-1].arrival_us:
             queue.append(req)
@@ -414,26 +532,79 @@ class InferenceServer:
         t0 = time.perf_counter()
         jobs = []
         seen = set()
+
+        def submit(engine, batch, shape):
+            key = self.plan_cache.key_for(engine, batch, shape)
+            if key in seen:
+                return
+            seen.add(key)
+            jobs.append(
+                self.plan_cache.ensure_async(
+                    engine, batch, shape, executor=self._executor
+                )
+            )
+
         for model_name, served in self.models.items():
+            stages = self._stages_of(model_name)
+            if stages is not None:
+                # Sharded models execute stage-wise only: prewarm the
+                # stage plans on their pinned workers, not whole-model
+                # plans that no worker will ever dispatch.
+                for stage in stages:
+                    engine = self._stage_engines[
+                        (model_name, stage.index, stage.worker)
+                    ]
+                    for batch in self.batcher.candidate_batches:
+                        submit(engine, batch, stage.input_shape)
+                continue
             for wname, backend, device in self._worker_specs:
                 engine = self._engines[(model_name, wname, "")]
                 for batch in self.batcher.candidate_batches:
-                    key = self.plan_cache.key_for(
-                        engine, batch, served.input_shape
-                    )
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    jobs.append(
-                        self.plan_cache.ensure_async(
-                            engine, batch, served.input_shape,
-                            executor=self._executor,
-                        )
-                    )
+                    submit(engine, batch, served.input_shape)
         compiled = await asyncio.gather(*jobs)
         self.metrics.record_prewarm(
             sum(compiled), (time.perf_counter() - t0) * 1e6
         )
+
+    async def _install_pipelines(self) -> None:
+        """Partition and pin the policy's sharded models (start-time).
+
+        The split is driven by the unsharded model's compiled plan --
+        ensured through the normal async single-flight path, so even a
+        cold partition never stalls the event loop -- priced per fused
+        group and balanced over the model's top-level layers.  Stage
+        submodels get their own engines on their pinned workers; their
+        plans compile through the same plan cache as everything else.
+        Idempotent across restarts: an installed pipeline stays put.
+        """
+        ctl = self.placement_controller
+        for model_name, num_stages in ctl.policy.shard:
+            if ctl.placement.stages_of(model_name) is not None:
+                continue  # restart: already partitioned and pinned
+            served = self.models[model_name]
+            ref_name = self._worker_specs[0][0]
+            engine = self._engines[(model_name, ref_name, "")]
+            await self.plan_cache.ensure_async(
+                engine, ctl.policy.partition_batch, served.input_shape,
+                executor=self._executor,
+            )
+            plan = self.plan_cache.get(
+                engine, ctl.policy.partition_batch, served.input_shape
+            )
+            stages = pipeline_stages(
+                model_name, served.model, served.input_shape, num_stages,
+                plan, engine.latency_model,
+            )
+            pinned = ctl.install_stages(model_name, stages, self._sim_now_us)
+            for stage in pinned:
+                w_backend, w_device = self._workers_by_name[stage.worker]
+                self._stage_engines[(model_name, stage.index, stage.worker)] = (
+                    InferenceEngine(
+                        stage.submodel, w_backend, w_device,
+                        calibration=self._calibration,
+                    )
+                )
+        self.metrics.replica_counts = ctl.placement.replica_counts()
 
     def _require_started(self) -> asyncio.Condition:
         if self._cond is None or not self._running:
@@ -507,14 +678,95 @@ class InferenceServer:
                 self.metrics.record_queue_depth(self.queue_depth)
             self._cond.notify_all()
 
+    # ------------------------------------------------------------------
+    # placement routing
+    # ------------------------------------------------------------------
+    def _serves(self, worker: str, model: str) -> bool:
+        """May ``worker`` dispatch ``model`` from its queue?"""
+        if self.placement_controller is None:
+            return True
+        return self.placement_controller.placement.serves(worker, model)
+
+    def _stages_of(self, model: str) -> tuple[StagePlan, ...] | None:
+        if self.placement_controller is None:
+            return None
+        return self.placement_controller.placement.stages_of(model)
+
+    def _replica_count(self, model: str) -> int:
+        """Workers sharing this model's queue (batch-share divisor)."""
+        if self.placement_controller is None:
+            return 1
+        mp = self.placement_controller.placement.placements[model]
+        return 1 if mp.stages is not None else len(mp.replicas)
+
+    def _routable_depth(self, worker: str) -> int:
+        """Queued requests in queues this worker may dispatch from."""
+        return sum(
+            len(q)
+            for model, q in self._queues.items()
+            if q and self._serves(worker, model)
+        )
+
+    def _maybe_rebalance(self) -> None:
+        """Swap the placement at epoch boundaries (under the lock).
+
+        Runs strictly between batches: whichever worker iterates first
+        past an epoch boundary evaluates it.  Demand comes from the
+        metrics layer's arrival windows; per-replica service rates come
+        from *warm* plan-cache totals only (a cold model holds its
+        placement rather than compiling inside the lock).  The swap is
+        one reference assignment, so queued requests re-route wholesale
+        and in-flight work keeps the assignment it started with.
+        """
+        ctl = self.placement_controller
+        if ctl is None or not ctl.due(self._sim_now_us):
+            return
+        now = self._sim_now_us
+        rates: dict[str, float] = {}
+        service: dict[str, float | None] = {}
+        for model, served in self.models.items():
+            if ctl.placement.stages_of(model) is not None:
+                continue
+            count, rate = self.metrics.arrival_stats(
+                model, now, ctl.policy.window_us
+            )
+            if count < ctl.policy.min_requests:
+                continue
+            rates[model] = rate
+            primary = ctl.placement.replicas_of(model)[0]
+            engine = self._engines[(model, primary, "")]
+            total = self.plan_cache.peek_total_us(
+                engine, ctl.policy.service_batch, served.input_shape
+            )
+            service[model] = (
+                None if total is None
+                else ctl.policy.service_batch / (total * 1e-6)
+            )
+        swap = ctl.rebalance(now, rates, service)
+        if swap is not None:
+            adds, removes = swap
+            self.metrics.record_rebalance(
+                ctl.placement.epoch, adds, removes,
+                ctl.placement.replica_counts(),
+            )
+            # New owners may now serve queues they previously ignored.
+            self._cond.notify_all()
+
     def _visible_snapshots(
-        self, now_us: float
+        self, now_us: float, worker: str | None = None
     ) -> tuple[list[QueueSnapshot], dict[str, int]]:
-        """Per-model views of requests arrived by ``now_us``."""
+        """Per-model views of requests arrived by ``now_us``.
+
+        With a placement layer, only queues routed to ``worker`` are
+        visible -- the discipline chooses among the models this worker
+        actually hosts.
+        """
         snapshots: list[QueueSnapshot] = []
         depths: dict[str, int] = {}
         for model, queue in self._queues.items():
             if not queue or queue[0].arrival_us > now_us:
+                continue
+            if worker is not None and not self._serves(worker, model):
                 continue
             depth = 0
             for r in queue:
@@ -532,6 +784,7 @@ class InferenceServer:
                     head_deadline_us=queue[0].arrival_us + slo_us,
                     weight=served.weight,
                     served=self._served_counts[model],
+                    replicas=self._replica_count(model),
                 )
             )
         return snapshots, depths
@@ -540,37 +793,67 @@ class InferenceServer:
         cond = self._cond
         sim_free_at_us = 0.0
         while True:
-            cold_batches: tuple[int, ...] = ()
+            job: _StageJob | None = None
+            cold_specs: tuple = ()
             async with cond:
                 self._promote_deferred()
-                while self._running and self.queue_depth == 0:
+                while True:
+                    self._maybe_rebalance()
+                    if self._stage_queues[name] or (
+                        self._routable_depth(name) > 0
+                    ):
+                        break
+                    if (
+                        not self._running
+                        and self.queue_depth == 0
+                        and self._pipeline_inflight == 0
+                    ):
+                        return
                     await cond.wait()
                     self._promote_deferred()
-                if not self._running and self.queue_depth == 0:
-                    return
+                if self._stage_queues[name]:
+                    # Pipeline handoffs first: draining in-flight work
+                    # bounds the pipeline and keeps stage order FIFO.
+                    job = self._stage_queues[name].popleft()
+            if job is not None:
+                sim_free_at_us = await self._run_stage(
+                    name, job, sim_free_at_us
+                )
+                continue
+
+            async with cond:
+                if self._routable_depth(name) == 0:
+                    continue  # another worker drained it as we re-locked
                 # Non-clairvoyant dispatch: when the worker frees up (or
                 # the earliest queued request arrives, if later) it can
                 # only see requests that have arrived by that simulated
                 # instant -- even if an unscaled replay has already
                 # enqueued the future.
                 earliest = min(
-                    q[0].arrival_us for q in self._queues.values() if q
+                    q[0].arrival_us
+                    for model, q in self._queues.items()
+                    if q and self._serves(name, model)
                 )
                 now_us = max(sim_free_at_us, earliest)
-                snapshots, depths = self._visible_snapshots(now_us)
+                snapshots, depths = self._visible_snapshots(now_us, name)
                 model = self.discipline.select(tuple(snapshots))
                 queue = self._queues[model]
                 depth = depths[model]
                 visible_total = sum(depths.values())
+                stages = self._stages_of(model)
+                replicas = self._replica_count(model)
 
                 # Precision autoswitching: under backlog, serve APNN
                 # traffic at a downgraded wXaY pair priced through the
-                # same plan cache.
+                # same plan cache.  Sharded models always run at their
+                # configured precision: a mid-pipeline precision change
+                # would split one batch across two plans.
                 switched = False
                 batch_accuracy_delta = 0.0
                 pair = getattr(backend, "pair", None)
                 if (
-                    self.autoswitch is not None
+                    stages is None
+                    and self.autoswitch is not None
                     and isinstance(backend, APNNBackend)
                 ):
                     degraded = self.autoswitch.pair_for_depth(
@@ -585,16 +868,29 @@ class InferenceServer:
                             backend.pair, degraded
                         )
                         pair = degraded
-                engine = self._engine_for(
-                    model, name, backend, device,
-                    pair if switched else None,
-                )
+                if stages is not None:
+                    pricing = tuple(
+                        (
+                            self._stage_engines[(model, s.index, s.worker)],
+                            s.input_shape,
+                        )
+                        for s in stages
+                    )
+                else:
+                    engine = self._engine_for(
+                        model, name, backend, device,
+                        pair if switched else None,
+                    )
+                    pricing = ((engine, self.models[model].input_shape),)
                 slo_ms = self.slo_ms_for(model)
-                shape = self.models[model].input_shape
-                cold_batches = self.plan_cache.missing_batches(
-                    engine, self.batcher.eligible_batches(depth), shape
+                price = self._pipeline_price_fn(pricing)
+                eligible = self.batcher.eligible_batches(depth, replicas)
+                cold_specs = tuple(
+                    (e, b, s)
+                    for e, s in pricing
+                    for b in self.plan_cache.missing_batches(e, eligible, s)
                 )
-                if cold_batches:
+                if cold_specs:
                     # Cold cache: the batch sweep would compile inside
                     # the lock and stall the whole event loop until the
                     # cache warmed.  Reserve the visible requests (so
@@ -602,11 +898,20 @@ class InferenceServer:
                     # the old synchronous compile implied) and compile
                     # them off-loop below.
                     reserved = [queue.popleft() for _ in range(depth)]
+                    # The reservation *is* the dispatch-order commitment
+                    # (it pops the arrival-sorted head under the lock),
+                    # so the reorder watermark advances here -- a
+                    # co-replica warm-dispatching later arrivals during
+                    # this worker's off-loop compile is not a reorder.
+                    self.metrics.record_dispatch(
+                        model,
+                        reserved[0].arrival_us,
+                        reserved[-1].arrival_us,
+                    )
                 else:
                     try:
                         decision = self.batcher.choose(
-                            depth, self._price_fn(engine, model),
-                            slo_ms=slo_ms,
+                            depth, price, slo_ms=slo_ms, replicas=replicas,
                         )
                     except Exception as exc:
                         # Pricing failed on a warm plan (rare; compile
@@ -616,14 +921,22 @@ class InferenceServer:
                         for r in [queue.popleft() for _ in range(depth)]:
                             if not r.future.done():
                                 r.future.set_exception(exc)
+                        # the queue shrank: wake placement-parked
+                        # workers so a stop()-drain re-checks its exit
+                        cond.notify_all()
                         continue
                     take = min(decision.batch_size, depth)
                     batch = [queue.popleft() for _ in range(take)]
+                    self.metrics.record_dispatch(
+                        model, batch[0].arrival_us, batch[-1].arrival_us
+                    )
                     self._served_counts[model] += take
                     self._slo_infeasible[model] = not decision.meets_slo
+                    if stages is not None:
+                        self._pipeline_inflight += 1
                     self._promote_deferred()
 
-            if cold_batches:
+            if cold_specs:
                 # Compile off-loop; single-flight dedupes racing workers
                 # on shared keys.  Only this batch's dispatch waits --
                 # other workers keep draining warm queues and clients
@@ -632,9 +945,9 @@ class InferenceServer:
                 try:
                     compiled = await asyncio.gather(*(
                         self.plan_cache.ensure_async(
-                            engine, b, shape, executor=self._executor
+                            e, b, s, executor=self._executor
                         )
-                        for b in cold_batches
+                        for e, b, s in cold_specs
                     ))
                 except Exception as exc:
                     # Compilation failed (e.g. a model/input-shape
@@ -649,6 +962,10 @@ class InferenceServer:
                     for r in reserved:
                         if not r.future.done():
                             r.future.set_exception(exc)
+                    async with cond:
+                        # reserved work evaporated: wake parked workers
+                        # so a stop()-drain re-checks its exit condition
+                        cond.notify_all()
                     continue
                 # sum(compiled): only keys *this* worker actually
                 # compiled -- coalesced waits on another worker's
@@ -663,8 +980,7 @@ class InferenceServer:
                     # so warm-up must not change any batching outcome.
                     try:
                         decision = self.batcher.choose(
-                            depth, self._price_fn(engine, model),
-                            slo_ms=slo_ms,
+                            depth, price, slo_ms=slo_ms, replicas=replicas,
                         )
                     except Exception as exc:
                         # A capacity-squeezed cache may have evicted a
@@ -672,11 +988,19 @@ class InferenceServer:
                         for r in reserved:
                             if not r.future.done():
                                 r.future.set_exception(exc)
+                        cond.notify_all()
                         continue
                     take = min(decision.batch_size, depth)
                     batch = reserved[:take]
                     rest = reserved[take:]
                     if rest:
+                        # Un-commit the returned leftovers first: the
+                        # reserve advanced the reorder watermark over
+                        # them, and their later (front-of-queue)
+                        # dispatch must not count as a reorder.
+                        self.metrics.note_out_of_order_submit(
+                            model, rest[0].arrival_us
+                        )
                         # Unclaimed leftovers rejoin at the head (they
                         # are the earliest arrivals) and idle workers
                         # are woken to serve them.
@@ -697,7 +1021,31 @@ class InferenceServer:
                         cond.notify_all()
                     self._served_counts[model] += take
                     self._slo_infeasible[model] = not decision.meets_slo
+                    if stages is not None:
+                        self._pipeline_inflight += 1
                     self._promote_deferred()
+
+            if stages is not None:
+                # Pipeline dispatch: this worker owns stage 0; serve it
+                # and hand the batch down the stage chain.
+                job = _StageJob(
+                    model=model,
+                    stages=stages,
+                    stage_idx=0,
+                    requests=batch,
+                    batch_size=decision.batch_size,
+                    expected_latency_us=decision.expected_latency_us,
+                    meets_slo=decision.meets_slo,
+                    depth=depth,
+                    slo_us=slo_ms * 1000.0,
+                    pair_name=pair.name if pair is not None else "",
+                    ready_us=now_us,
+                    start_us=now_us,
+                )
+                sim_free_at_us = await self._run_stage(
+                    name, job, sim_free_at_us
+                )
+                continue
 
             start_us = now_us
             finish_us = start_us + decision.expected_latency_us
@@ -745,3 +1093,114 @@ class InferenceServer:
             for r, res in zip(batch, results):
                 if not r.future.done():
                     r.future.set_result(res)
+            if self.placement_controller is not None:
+                # Placement routing can leave non-owner workers parked
+                # on the condition during a stop()-drain; wake them so
+                # they re-check the exit condition once work resolves.
+                async with cond:
+                    cond.notify_all()
+
+    def _pipeline_price_fn(self, pricing):
+        """Whole-request price: the sum of every (stage) engine's total."""
+        return lambda batch: sum(
+            self.plan_cache.total_us(e, batch, s) for e, s in pricing
+        )
+
+    async def _run_stage(
+        self, name: str, job: _StageJob, sim_free_at_us: float
+    ) -> float:
+        """Serve one pipeline stage on this worker; forward or resolve.
+
+        The stage plan is warm by construction -- the stage-0 dispatch
+        cold-compiled every stage's eligible batches through
+        ``ensure_async`` before deciding -- so pricing here never stalls
+        the loop.  Returns the worker's new free watermark.
+        """
+        stage = job.stages[job.stage_idx]
+        engine = self._stage_engines[(job.model, job.stage_idx, name)]
+        try:
+            if self.plan_cache.peek_total_us(
+                engine, job.batch_size, stage.input_shape
+            ) is None:
+                # A capacity-squeezed cache evicted the stage plan
+                # between dispatch and this handoff: recompile off-loop
+                # (single-flight) rather than stalling the event loop.
+                await self.plan_cache.ensure_async(
+                    engine, job.batch_size, stage.input_shape,
+                    executor=self._executor,
+                )
+            # warm by now; no awaits since the ensure, so it cannot
+            # have been evicted again before this lookup
+            service_us = self.plan_cache.total_us(
+                engine, job.batch_size, stage.input_shape
+            )
+        except Exception as exc:
+            # Recompilation failed: fail the batch's futures and keep
+            # the worker alive -- a dead worker task would strand
+            # _pipeline_inflight and hang stop() and every client.
+            for r in job.requests:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            async with self._cond:
+                self._pipeline_inflight -= 1
+                self._cond.notify_all()
+            return sim_free_at_us
+        start_us = max(sim_free_at_us, job.ready_us)
+        finish_us = start_us + service_us
+        if job.stage_idx == 0:
+            job.start_us = start_us
+        self._sim_now_us = max(self._sim_now_us, finish_us)
+        self._last_finish_us = max(self._last_finish_us, finish_us)
+
+        await asyncio.sleep(service_us * self.time_scale)
+        self.metrics.record_stage(
+            job.model, job.stage_idx, name, service_us, len(job.requests)
+        )
+
+        if job.stage_idx + 1 < len(job.stages):
+            next_worker = job.stages[job.stage_idx + 1].worker
+            job.stage_idx += 1
+            job.ready_us = finish_us
+            async with self._cond:
+                self._stage_queues[next_worker].append(job)
+                self._cond.notify_all()
+            return finish_us
+
+        stage_workers = tuple(s.worker for s in job.stages)
+        results = [
+            RequestResult(
+                request_id=r.request_id,
+                model=r.model,
+                worker=name,
+                batch_size=job.batch_size,
+                batch_requests=len(job.requests),
+                arrival_us=r.arrival_us,
+                start_us=job.start_us,
+                finish_us=finish_us,
+                deadline_us=r.arrival_us + job.slo_us,
+                pair=job.pair_name,
+                stages=stage_workers,
+            )
+            for r in job.requests
+        ]
+        self.metrics.record_batch(
+            name,
+            batch_size=job.batch_size,
+            requests=len(job.requests),
+            queue_depth=job.depth,
+            # modeled pure service of the whole pipeline -- the same
+            # definition the non-pipeline path records (inter-stage
+            # queueing still shows up in the request latencies, and
+            # per-stage service is billed to StageMetrics)
+            service_us=job.expected_latency_us,
+            request_latencies_us=[res.latency_us for res in results],
+            meets_slo=job.meets_slo,
+            deadline_misses=sum(not res.met_deadline for res in results),
+        )
+        async with self._cond:
+            self._pipeline_inflight -= 1
+            self._cond.notify_all()
+        for r, res in zip(job.requests, results):
+            if not r.future.done():
+                r.future.set_result(res)
+        return finish_us

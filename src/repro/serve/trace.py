@@ -25,6 +25,7 @@ __all__ = [
     "RejectedRequest",
     "poisson_trace",
     "burst_trace",
+    "skewed_trace",
     "replay",
 ]
 
@@ -73,6 +74,42 @@ def poisson_trace(
     return tuple(
         TraceEvent(t_us=float(t), model=models[i])
         for t, i in zip(times, picks)
+    )
+
+
+def skewed_trace(
+    rate_rps: float,
+    num_requests: int,
+    hot_models: Sequence[str],
+    cold_models: Sequence[str],
+    *,
+    hot_fraction: float = 0.8,
+    seed: int = 0,
+) -> tuple[TraceEvent, ...]:
+    """Poisson arrivals with a scripted hot/cold popularity skew.
+
+    ``hot_fraction`` of the traffic lands on ``hot_models`` (split
+    evenly among them); the remainder spreads evenly over
+    ``cold_models``.  This is the workload shape the placement layer's
+    replication policy exists for -- a deterministic, seeded version of
+    the classic Zipf head -- and the placement tests assert replication
+    targets exactly the hot set on it.
+    """
+    if not hot_models or not cold_models:
+        raise ValueError("skewed_trace needs hot and cold model sets")
+    overlap = set(hot_models) & set(cold_models)
+    if overlap:
+        raise ValueError(f"models cannot be both hot and cold: {overlap}")
+    if not 0 < hot_fraction < 1:
+        raise ValueError(
+            f"hot_fraction must be in (0, 1), got {hot_fraction}"
+        )
+    models = list(hot_models) + list(cold_models)
+    weights = [hot_fraction / len(hot_models)] * len(hot_models) + [
+        (1.0 - hot_fraction) / len(cold_models)
+    ] * len(cold_models)
+    return poisson_trace(
+        rate_rps, num_requests, models, weights=weights, seed=seed
     )
 
 

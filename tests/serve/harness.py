@@ -11,6 +11,19 @@ yields).  This harness packages the boilerplate:
 * :func:`make_server` builds a small two-model server (64x64 AlexNet
   with a tight SLO, 32x32 ResNet-18 with a loose one) on one APNN
   worker, so queues actually back up and disciplines differ;
+* :func:`make_cluster` scales that up to a simulated *cluster*: N
+  identical APNN workers serving a scripted hot/cold model population
+  (:func:`hot_cold_models`, cheap micro-CNNs so ten distinct models
+  plan in milliseconds), with an optional
+  :class:`~repro.serve.placement.PlacementPolicy` driving replication
+  and sharding -- the bench the placement tests assert on;
+* :func:`skew_trace` scripts the per-model arrival skew those tests
+  replay (a thin, constants-pinned wrapper over
+  :func:`repro.serve.skewed_trace`);
+* :class:`RecordingPlacementObserver` subscribes to the placement
+  controller and records every decision plus each epoch's replica
+  gauge, so tests can assert *which* models replicated, *when*, and
+  that two seeded runs decide identically;
 * :class:`RecordingPlanCache` is the compile-call/stall recorder: it
   logs every ``engine.compile()`` the cache performs and whether it ran
   synchronously on the caller's thread (``in_loop``, the event-loop
@@ -22,7 +35,8 @@ yields).  This harness packages the boilerplate:
 
 Determinism: a single-threaded event loop, a seeded trace, and the
 simulated clock give bit-identical latencies run-over-run; the
-determinism test in ``test_determinism.py`` guards exactly that.
+determinism test in ``test_determinism.py`` guards exactly that, and
+``test_placement.py`` extends it to placement decisions.
 """
 
 from __future__ import annotations
@@ -33,8 +47,11 @@ from dataclasses import dataclass, field
 
 from repro.core import PrecisionPair
 from repro.nn import APNNBackend, alexnet, resnet18
+from repro.nn.module import Sequential
 from repro.serve import (
     InferenceServer,
+    PlacementDecision,
+    PlacementPolicy,
     PlanCache,
     RejectedRequest,
     RequestResult,
@@ -42,6 +59,7 @@ from repro.serve import (
     TraceEvent,
     percentile,
     replay,
+    skewed_trace,
 )
 from repro.tensorcore import RTX3090
 
@@ -93,6 +111,127 @@ def make_server(
         workers if workers is not None else [(APNNBackend(W1A2), RTX3090)],
         **kwargs,
     )
+
+
+# ----------------------------------------------------------------------
+# simulated cluster (placement tests)
+# ----------------------------------------------------------------------
+#: Cluster workload constants, shared with the `placement` experiment
+#: (the single source, same as the scheduling workload above) so the
+#: study and its tests can never drift onto different workloads.
+from repro.experiments.figures import (  # noqa: E402
+    PLACEMENT_BATCHES as CLUSTER_BATCHES,
+    PLACEMENT_COLD as CLUSTER_COLD,
+    PLACEMENT_HOT as CLUSTER_HOT,
+    PLACEMENT_HOT_FRACTION as CLUSTER_HOT_FRACTION,
+    PLACEMENT_INPUT_SHAPE as CLUSTER_INPUT_SHAPE,
+    PLACEMENT_RATE_RPS as CLUSTER_RATE_RPS,
+    PLACEMENT_WORKERS as CLUSTER_WORKERS,
+    placement_micro_net,
+    placement_policy,
+)
+
+
+def micro_net(name: str, seed: int = 0) -> Sequential:
+    """The placement workload's micro-CNN (memoized in figures)."""
+    return placement_micro_net(name, seed)
+
+
+def hot_cold_models(
+    hot: tuple[str, ...] = CLUSTER_HOT,
+    cold: tuple[str, ...] = CLUSTER_COLD,
+) -> dict[str, ServedModel]:
+    """The cluster's model population: distinct micro-nets per name."""
+    return {
+        name: ServedModel(micro_net(name, seed), CLUSTER_INPUT_SHAPE)
+        for seed, name in enumerate(hot + cold)
+    }
+
+
+def cluster_policy(**overrides) -> PlacementPolicy:
+    """The placement policy the cluster tests exercise.
+
+    ``service_batch=1`` keys one replica's modeled capacity to its
+    batch-1 rate (~59k rps for the micro-net), so the scripted hot rate
+    (~64k rps per hot model at the pinned skew) genuinely exceeds one
+    replica at 50% target utilization while the cold tail stays far
+    below it -- replication must target exactly the hot set.
+    """
+    return placement_policy(**overrides)
+
+
+def make_cluster(
+    models: dict[str, ServedModel] | None = None,
+    *,
+    num_workers: int = CLUSTER_WORKERS,
+    placement: PlacementPolicy | None = None,
+    **kwargs,
+) -> InferenceServer:
+    """N identical APNN workers over the hot/cold population."""
+    kwargs.setdefault("slo_ms", 5.0)
+    kwargs.setdefault("candidate_batches", CLUSTER_BATCHES)
+    return InferenceServer(
+        models if models is not None else hot_cold_models(),
+        [(APNNBackend(W1A2), RTX3090)] * num_workers,
+        placement=placement,
+        **kwargs,
+    )
+
+
+def skew_trace(
+    num_requests: int = 400, seed: int = 7
+) -> tuple[TraceEvent, ...]:
+    """The scripted hot/cold arrival skew the placement tests replay.
+
+    Same generator and skew as :func:`repro.experiments.figures
+    .placement_trace`, with the length and seed free so tests can span
+    more (or different) rebalance epochs.
+    """
+    return skewed_trace(
+        CLUSTER_RATE_RPS,
+        num_requests,
+        CLUSTER_HOT,
+        CLUSTER_COLD,
+        hot_fraction=CLUSTER_HOT_FRACTION,
+        seed=seed,
+    )
+
+
+class RecordingPlacementObserver:
+    """Observer logging every placement decision and epoch gauge.
+
+    Attach with :meth:`attach` before ``start()``; afterwards
+    ``decisions`` holds each :class:`PlacementDecision` in commit order
+    and ``epochs`` the replica gauge after every decision -- enough to
+    assert which models replicated, onto how many workers, and that two
+    seeded runs decided identically (compare :meth:`keys`).
+    """
+
+    def __init__(self) -> None:
+        self.decisions: list[PlacementDecision] = []
+        self.epochs: list[tuple[int, dict[str, int]]] = []
+        self._server: InferenceServer | None = None
+
+    def attach(self, server: InferenceServer) -> "RecordingPlacementObserver":
+        if server.placement_controller is None:
+            raise ValueError("server has no placement controller to observe")
+        self._server = server
+        server.placement_controller.observers.append(self._on_decision)
+        return self
+
+    def _on_decision(self, decision: PlacementDecision) -> None:
+        self.decisions.append(decision)
+        ctl = self._server.placement_controller
+        self.epochs.append(
+            (decision.epoch, ctl.placement.replica_counts())
+        )
+
+    def keys(self) -> list[tuple]:
+        """Comparable decision identities (reproducibility assertions)."""
+        return [d.key() for d in self.decisions]
+
+    def models_with(self, action: str) -> set[str]:
+        return {d.model for d in self.decisions if d.action == action}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,90 @@
+"""ServerMetrics across stop()/start() cycles: survive, don't double-count.
+
+The metrics registry is lifetime state of the server object: a restart
+(stop, then start again -- same process, same plan cache) must keep
+accumulating every counter, must not re-run prewarm compiles it already
+counted, and must not silently re-zero the autotune baseline (the
+regression this file pinned down: ``start()`` used to re-mark the
+baseline on every call, so ``autotune_stats()`` after a restart forgot
+all hits attributable to the first run's traffic).
+"""
+
+import pytest
+
+from repro.serve import burst_trace
+
+from harness import hot_cold_models, make_cluster, run_trace
+
+pytestmark = pytest.mark.serving
+
+
+def _restartable_server():
+    # fresh plan cache: run 1's prewarm really compiles, run 2's must not
+    return make_cluster(hot_cold_models(("hot-0",), ("cold-0",)),
+                        num_workers=1)
+
+
+class TestRestartCounters:
+    def test_counters_accumulate_across_restart(self):
+        server = _restartable_server()
+        trace = burst_trace(12, ["hot-0", "cold-0"])
+
+        run_trace(server, trace, prewarm=True)
+        first = server.metrics.snapshot()
+        assert first["requests"] == 12
+        assert first["prewarmed_plans"] > 0
+
+        run_trace(server, trace, prewarm=True)  # stop() happened inside
+        second = server.metrics.snapshot()
+
+        # lifetime counters accumulate -- a restart never resets them
+        assert second["requests"] == 24
+        assert second["batches"] >= first["batches"]
+
+    def test_prewarm_compiles_not_double_counted(self):
+        server = _restartable_server()
+        trace = burst_trace(8, ["hot-0", "cold-0"])
+
+        run_trace(server, trace, prewarm=True)
+        first = server.metrics.snapshot()
+
+        run_trace(server, trace, prewarm=True)
+        second = server.metrics.snapshot()
+
+        # the second prewarm found every plan warm: zero new compiles
+        # counted, so the gauge's delta across the restart is exactly 0
+        assert second["prewarmed_plans"] == first["prewarmed_plans"]
+        assert second["cold_compiles"] == first["cold_compiles"]
+
+    def test_autotune_baseline_survives_restart(self):
+        """The regression: restarting must not forget run 1's autotune
+        activity by re-marking the baseline."""
+        server = _restartable_server()
+        trace = burst_trace(8, ["hot-0", "cold-0"])
+
+        run_trace(server, trace, prewarm=True)
+        hits_after_first = server.metrics.autotune_stats().hits
+        # prewarm compiled several batch sizes of the same two GEMM
+        # shapes, so the autotune cache definitely got hit
+        assert hits_after_first > 0
+
+        run_trace(server, trace, prewarm=True)
+        stats = server.metrics.autotune_stats()
+        # since-start stats still cover the first run's traffic
+        assert stats.hits >= hits_after_first
+
+    def test_snapshot_delta_is_all_zero_except_traffic(self):
+        """Across an idle restart (no traffic), nothing moves at all."""
+        import asyncio
+
+        server = _restartable_server()
+        run_trace(server, burst_trace(4, ["hot-0"]), prewarm=True)
+        before = server.metrics.snapshot()
+
+        async def bounce():
+            await server.start(prewarm=True)
+            await server.stop()
+
+        asyncio.run(bounce())
+        after = server.metrics.snapshot()
+        assert after == before

@@ -1,0 +1,337 @@
+"""Placement layer: replication, pipeline sharding, rebalance safety.
+
+All four ISSUE-level guarantees run on the deterministic simulated-clock
+cluster harness (``make_cluster`` / ``skew_trace``):
+
+* a 2-hot/8-cold skewed trace triggers replication of *exactly* the hot
+  models;
+* a sharded pipeline produces byte-identical outputs to the unsharded
+  engine, and its serving path really does hand batches across distinct
+  workers;
+* rebalancing never drops or reorders an in-flight request (the metrics
+  invariant counters stay zero while placements swap underneath live
+  traffic);
+* placement decisions are reproducible across runs given the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PrecisionPair
+from repro.nn import APNNBackend, InferenceEngine
+from repro.serve import (
+    PlacementPolicy,
+    PlanCache,
+    ServedModel,
+    partition_units,
+    pipeline_stages,
+    run_pipeline,
+)
+from repro.tensorcore import RTX3090
+
+from harness import (
+    CLUSTER_HOT,
+    CLUSTER_COLD,
+    RecordingPlacementObserver,
+    RecordingPlanCache,
+    cluster_policy,
+    make_cluster,
+    micro_net,
+    run_trace,
+    skew_trace,
+    small_alexnet,
+)
+
+pytestmark = pytest.mark.serving
+
+W1A2 = PrecisionPair.parse("w1a2")
+
+#: One plan cache shared by every server in this module: plan keys are
+#: structural (model/backend/device/batch/shape/calibration), so reuse
+#: is safe and keeps the ten-model cluster tests fast.
+_CACHE = PlanCache(max_entries=1024)
+
+
+def _cluster(**kwargs):
+    kwargs.setdefault("placement", cluster_policy())
+    kwargs.setdefault("plan_cache", _CACHE)
+    return make_cluster(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# partitioning units
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_balanced_split_minimizes_max_stage(self):
+        bounds = partition_units([4.0, 1.0, 1.0, 1.0, 1.0], 2)
+        assert bounds == [1]  # heavy head alone beats any later split
+
+    def test_all_stages_nonempty(self):
+        bounds = partition_units([1.0] * 6, 3)
+        assert bounds == [2, 4]
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            partition_units([1.0, 2.0], 3)
+
+    def test_stage_submodels_cover_model_in_order(self):
+        net = micro_net("partition-probe", 99)
+        engine = InferenceEngine(net, APNNBackend(W1A2), RTX3090)
+        plan = engine.compile(8, (3, 16, 16))
+        stages = pipeline_stages(
+            "probe", net, (3, 16, 16), 2, plan, engine.latency_model
+        )
+        assert [s.index for s in stages] == [0, 1]
+        rejoined = [l for s in stages for l in s.submodel.layers]
+        assert rejoined == net.layers  # same objects, same order
+        assert all(s.modeled_us > 0 for s in stages)
+
+
+# ----------------------------------------------------------------------
+# replication
+# ----------------------------------------------------------------------
+class TestReplication:
+    def test_skewed_trace_replicates_exactly_the_hot_models(self):
+        server = _cluster()
+        observer = RecordingPlacementObserver().attach(server)
+        run = run_trace(server, skew_trace(), prewarm=True)
+        assert len(run.results) == 400
+
+        replicated = observer.models_with("replicate")
+        assert replicated == set(CLUSTER_HOT)
+        counts = server.placement_controller.placement.replica_counts()
+        for hot in CLUSTER_HOT:
+            assert counts[hot] == 2  # policy caps at max_replicas=2
+        for cold in CLUSTER_COLD:
+            assert counts[cold] == 1
+
+    def test_replicas_actually_share_the_hot_queues(self):
+        """After replication, more than one worker serves hot traffic."""
+        server = _cluster()
+        run = run_trace(server, skew_trace(800, seed=11), prewarm=True)
+        hot_workers = {
+            r.worker for r in run.results if r.model in CLUSTER_HOT
+        }
+        assert len(hot_workers) >= 2
+        # cold models stay wherever their single replica lives
+        for cold in CLUSTER_COLD:
+            assert len({
+                r.worker for r in run.results if r.model == cold
+            }) == 1
+
+    def test_static_policy_never_replicates(self):
+        server = _cluster(placement=cluster_policy(max_replicas=1))
+        observer = RecordingPlacementObserver().attach(server)
+        run_trace(server, skew_trace(), prewarm=True)
+        assert observer.decisions == []
+        assert server.metrics.rebalances == 0
+
+    def test_epoch_numbers_increase_monotonically(self):
+        server = _cluster()
+        observer = RecordingPlacementObserver().attach(server)
+        run_trace(server, skew_trace(800, seed=5), prewarm=True)
+        epochs = [e for e, _ in observer.epochs]
+        assert epochs == sorted(epochs)
+
+
+# ----------------------------------------------------------------------
+# pipeline sharding
+# ----------------------------------------------------------------------
+class TestSharding:
+    def _sharded_server(self):
+        return make_cluster(
+            {"alex": ServedModel(small_alexnet(), (3, 64, 64))},
+            num_workers=2,
+            placement=PlacementPolicy.sharded(
+                {"alex": 2}, rebalance_every_us=1e9
+            ),
+            plan_cache=_CACHE,
+        )
+
+    def test_sharded_pipeline_output_byte_identical_to_unsharded(self):
+        import asyncio
+
+        server = self._sharded_server()
+
+        # a bare start()/stop() installs the pipeline without traffic
+        async def boot():
+            await server.start()
+            await server.stop()
+
+        asyncio.run(boot())
+        stages = server.placement_controller.placement.stages_of("alex")
+        assert stages is not None and len(stages) == 2
+
+        x = np.random.default_rng(0).normal(size=(2, 3, 64, 64))
+        engine = InferenceEngine(small_alexnet(), APNNBackend(W1A2), RTX3090)
+        assert run_pipeline(stages, x).tobytes() == \
+            engine.forward(x).tobytes()
+        assert run_pipeline(stages, x).tobytes() == \
+            small_alexnet().forward(x).tobytes()
+
+    def test_stages_serve_on_distinct_workers(self):
+        from repro.serve import poisson_trace
+
+        server = self._sharded_server()
+        run = run_trace(
+            server, poisson_trace(100_000, 40, ["alex"], seed=3),
+            prewarm=True,
+        )
+        assert len(run.results) == 40
+        for r in run.results:
+            assert len(r.stages) == 2
+            assert len(set(r.stages)) == 2  # distinct workers
+        m = server.metrics
+        stage_keys = sorted(m.stages)
+        assert [k[1] for k in stage_keys] == [0, 1]
+        workers = {k[2] for k in stage_keys}
+        assert len(workers) == 2
+        # every request passed through both stages
+        assert all(s.requests == 40 for s in m.stages.values())
+        assert m.dropped_requests == 0
+        assert m.reordered_dispatches == 0
+
+    def test_evicted_stage_plan_recompiles_off_loop_mid_pipeline(self):
+        """An evicted stage plan never stalls (or kills) the handoff.
+
+        Simulates the capacity-squeeze race deterministically: the
+        cache evicts a stage plan at the exact moment the downstream
+        stage peeks for it -- i.e. *after* the stage-0 dispatch ensured
+        it but *before* the handoff prices it.  The handoff must
+        recompile off-loop (zero in-loop compiles), the worker must
+        survive, and every request must resolve.
+        """
+        from repro.serve import poisson_trace
+
+        class EvictAtPeekCache(RecordingPlanCache):
+            """Drops the peeked key the first few times (worst case)."""
+
+            def __init__(self, *args, evict_first=3, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.forced_evictions = 0
+                self._evict_left = evict_first
+
+            def peek_total_us(self, engine, batch,
+                              input_shape=(3, 224, 224)):
+                if self._evict_left > 0:
+                    key = self.key_for(engine, batch, input_shape)
+                    if self._plans.pop(key, None) is not None:
+                        self.forced_evictions += 1
+                        self._evict_left -= 1
+                return super().peek_total_us(engine, batch, input_shape)
+
+        cache = EvictAtPeekCache()
+        server = make_cluster(
+            {"alex": ServedModel(small_alexnet(), (3, 64, 64))},
+            num_workers=2,
+            placement=PlacementPolicy.sharded(
+                {"alex": 2}, rebalance_every_us=1e9
+            ),
+            plan_cache=cache,
+        )
+        run = run_trace(
+            server, poisson_trace(100_000, 30, ["alex"], seed=5),
+            prewarm=True,
+        )
+        assert len(run.results) == 30
+        assert cache.forced_evictions > 0  # the race really happened
+        assert cache.in_loop_calls == []   # recompiles stayed off-loop
+        # the evicted stage plans really were recompiled: prewarm made
+        # one compile per (stage, candidate batch), each forced
+        # eviction forced exactly one more
+        stage_compiles = [
+            c for c in cache.compile_calls if "#stage" in c.model
+        ]
+        assert len(stage_compiles) >= 8 + cache.forced_evictions
+        assert server.metrics.dropped_requests == 0
+        assert server._pipeline_inflight == 0
+
+    def test_request_latency_covers_both_stages(self):
+        """finish - start spans the whole pipeline, not just stage 0."""
+        from repro.serve import burst_trace
+
+        server = self._sharded_server()
+        run = run_trace(server, burst_trace(8, ["alex"]), prewarm=True)
+        stages = server.placement_controller.placement.stages_of("alex")
+        floor_us = sum(
+            _CACHE.total_us(
+                server._stage_engines[("alex", s.index, s.worker)],
+                1, s.input_shape,
+            )
+            for s in stages
+        )
+        for r in run.results:
+            assert r.service_us >= floor_us * 0.99
+
+
+# ----------------------------------------------------------------------
+# rebalance safety
+# ----------------------------------------------------------------------
+class TestRebalanceSafety:
+    def test_never_drops_or_reorders_in_flight_requests(self):
+        server = _cluster()
+        trace = skew_trace(800, seed=13)
+        run = run_trace(server, trace, prewarm=True)
+        m = server.metrics
+
+        # rebalancing definitely happened under live traffic
+        assert m.rebalances >= 1
+        # nothing dropped: every trace event came back exactly once
+        assert len(run.results) == len(trace)
+        ids = [r.request_id for r in run.results]
+        assert len(set(ids)) == len(ids)
+        assert m.dropped_requests == 0
+        # nothing reordered: per-model *dispatch* followed arrival order
+        # (the watermark counter); a replica that freed up early may
+        # still *start* a later batch sooner, so the direct structural
+        # check is per (model, worker): each worker's own service order
+        # must follow arrival order.
+        assert m.reordered_dispatches == 0
+        for model in set(e.model for e in trace):
+            for worker in {r.worker for r in run.results
+                           if r.model == model}:
+                mine = sorted(
+                    (r for r in run.results
+                     if r.model == model and r.worker == worker),
+                    key=lambda r: (r.start_us, r.arrival_us),
+                )
+                arrivals = [r.arrival_us for r in mine]
+                assert arrivals == sorted(arrivals)
+
+    def test_queue_drains_completely_across_swaps(self):
+        server = _cluster()
+        run_trace(server, skew_trace(800, seed=17), prewarm=True)
+        assert server.queue_depth == 0
+        assert server.deferred_depth == 0
+        assert server._pipeline_inflight == 0
+
+
+# ----------------------------------------------------------------------
+# reproducibility
+# ----------------------------------------------------------------------
+class TestReproducibility:
+    def _run(self, seed):
+        server = _cluster()
+        observer = RecordingPlacementObserver().attach(server)
+        run = run_trace(server, skew_trace(600, seed=seed), prewarm=True)
+        timings = sorted(
+            (r.request_id, r.model, r.arrival_us, r.start_us, r.finish_us)
+            for r in run.results
+        )
+        return observer.keys(), timings, server.metrics.snapshot()
+
+    def test_same_seed_same_decisions_and_timings(self):
+        d1, t1, s1 = self._run(23)
+        d2, t2, s2 = self._run(23)
+        assert d1 == d2
+        assert t1 == t2
+        # counters that must match exactly (drop wall-clock-ish ones)
+        for key in ("requests", "batches", "rebalances", "replica_adds",
+                    "replica_removes", "dropped_requests",
+                    "reordered_dispatches"):
+            assert s1[key] == s2[key], key
+
+    def test_different_seed_may_differ_but_stays_safe(self):
+        d1, _, s1 = self._run(29)
+        assert s1["dropped_requests"] == 0
+        assert s1["reordered_dispatches"] == 0

@@ -1,0 +1,163 @@
+"""Property-based guarantees of the queue disciplines (hypothesis).
+
+Two properties every discipline must hold for the dispatch loop to be
+deterministic and fair:
+
+* **Permutation stability** -- ``select`` is a pure function of the
+  snapshot *set*: the order the server happens to materialize the
+  per-model views in (dict order, placement filtering) must never
+  change the winner.  Each discipline's key ends in the model name, so
+  the minimum is unique; this is what makes placement-filtered
+  snapshot lists safe.
+* **No starvation** -- a backlogged model is served within a bounded
+  number of selections even when every *other* queue is adversarially
+  refilled with fresh arrivals after each dispatch.  FIFO and EDF
+  bound this by the queue count (old heads only get older relative to
+  refills); WFQ bounds it by the service debt the target can owe under
+  bounded weights/replicas.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    EDFDiscipline,
+    FIFODiscipline,
+    QueueSnapshot,
+    WFQDiscipline,
+)
+
+pytestmark = pytest.mark.serving
+
+DISCIPLINES = [FIFODiscipline(), EDFDiscipline(), WFQDiscipline()]
+
+
+def _snapshot(i: int, arrival: float, slo_us: float, weight: float,
+              served: int, depth: int, replicas: int) -> QueueSnapshot:
+    return QueueSnapshot(
+        model=f"m{i}",
+        depth=depth,
+        head_arrival_us=arrival,
+        head_deadline_us=arrival + slo_us,
+        weight=weight,
+        served=served,
+        replicas=replicas,
+    )
+
+
+snapshot_lists = st.builds(
+    lambda rows: tuple(
+        _snapshot(i, *row) for i, row in enumerate(rows)
+    ),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6),   # arrival
+            st.floats(min_value=1.0, max_value=1e5),   # slo
+            st.sampled_from([0.5, 1.0, 2.0, 4.0]),     # weight
+            st.integers(min_value=0, max_value=20),    # served
+            st.integers(min_value=1, max_value=32),    # depth
+            st.integers(min_value=1, max_value=3),     # replicas
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+
+
+class TestPermutationStability:
+    @given(queues=snapshot_lists, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_select_ignores_snapshot_order(self, queues, data):
+        perm = tuple(
+            data.draw(st.permutations(list(queues)), label="permutation")
+        )
+        for discipline in DISCIPLINES:
+            assert discipline.select(queues) == discipline.select(perm), (
+                type(discipline).__name__
+            )
+
+    @given(queues=snapshot_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_select_returns_a_presented_model(self, queues):
+        names = {q.model for q in queues}
+        for discipline in DISCIPLINES:
+            assert discipline.select(queues) in names
+
+
+class TestNoStarvation:
+    """Adversarial refill: can a queue be starved while nonempty?
+
+    After every dispatch each *other* queue is refilled with a fresh
+    request (later arrival, later deadline, its served count grown) --
+    the worst legal workload for the target queue.  Every discipline
+    must still select the target within a generous bound.
+    """
+
+    @given(
+        queues=snapshot_lists,
+        target=st.integers(min_value=0, max_value=7),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_backlogged_queue_is_served_within_bound(
+        self, queues, target, data
+    ):
+        queues = list(queues)
+        target %= len(queues)
+        target_model = queues[target].model
+        # Bounds per discipline, one generous number covering all three:
+        # * WFQ: the target owes at most served/(w*r) <= 20/0.5
+        #   normalized service; each refill credits every other queue
+        #   one served, growing its normalized service >= 1/(4*3) per
+        #   round -- debt clears in max_norm*12 rounds.
+        # * EDF: refill deadlines are arrival + slo with arrivals
+        #   advanced by the *largest* SLO per round, so they overtake
+        #   the target's fixed deadline within ~1 round, then FIFO-like.
+        # * FIFO: the target's head only gets older relative to refills;
+        #   bounded by the queue count.
+        max_norm = max(q.normalized_service for q in queues)
+        bound = len(queues) + int(max_norm * 4 * 3) + 4
+        tick = max(
+            q.head_deadline_us - q.head_arrival_us for q in queues
+        ) + 1.0
+        clock = max(q.head_arrival_us for q in queues) + 1.0
+        for step in range(bound):
+            for discipline in DISCIPLINES:
+                assert discipline.select(tuple(queues)) in {
+                    q.model for q in queues
+                }
+            picked = {
+                type(d).__name__: d.select(tuple(queues))
+                for d in DISCIPLINES
+            }
+            if all(p == target_model for p in picked.values()):
+                return  # every discipline got around to the target
+            refreshed = []
+            for i, q in enumerate(queues):
+                if i == target:
+                    refreshed.append(q)
+                    continue
+                # adversarial refill: strictly later arrival/deadline,
+                # service history credited for the dispatch
+                clock += tick
+                refreshed.append(
+                    QueueSnapshot(
+                        model=q.model,
+                        depth=q.depth,
+                        head_arrival_us=clock,
+                        head_deadline_us=clock + (
+                            q.head_deadline_us - q.head_arrival_us
+                        ),
+                        weight=q.weight,
+                        served=q.served + 1,
+                        replicas=q.replicas,
+                    )
+                )
+            queues = refreshed
+        # the loop must have exited via the all-disciplines-picked-target
+        # return; reaching here means some discipline starved the queue
+        raise AssertionError(
+            f"{target_model} starved for {bound} adversarial rounds: "
+            f"last picks {picked}"
+        )

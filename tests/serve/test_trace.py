@@ -1,0 +1,100 @@
+"""Trace generation: determinism, arrival monotonicity, skew scripting.
+
+PR 3 fixed out-of-order ``submit`` clairvoyance at the server; these
+tests guard the same invariant at the *source*: every generator's
+``arrival_us`` sequence is nondecreasing, seeded generation is
+deterministic (numpy's ``default_rng`` is specified to be stable across
+platforms and versions, so hard-coded expectations double as a
+cross-platform canary), and the skewed generator scripts exactly the
+hot/cold split the placement layer is tested against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import burst_trace, poisson_trace, skewed_trace
+
+pytestmark = pytest.mark.serving
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        kw = dict(rate_rps=50_000, num_requests=150, models=["a", "b"])
+        assert poisson_trace(seed=5, **kw) == poisson_trace(seed=5, **kw)
+
+    def test_skewed_same_seed_identical(self):
+        kw = dict(
+            rate_rps=50_000, num_requests=150,
+            hot_models=["h0", "h1"], cold_models=["c0", "c1", "c2"],
+        )
+        assert skewed_trace(seed=5, **kw) == skewed_trace(seed=5, **kw)
+
+    def test_known_values_cross_platform_canary(self):
+        """np.random.default_rng(0) is stable by spec; if these drift,
+        every 'deterministic given the seed' claim in the serving layer
+        is broken on this platform."""
+        trace = poisson_trace(100_000, 3, ["m"], seed=0)
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(10.0, size=3)
+        expected = np.cumsum(gaps)
+        for event, t in zip(trace, expected):
+            assert event.t_us == pytest.approx(float(t), abs=1e-12)
+        assert [e.model for e in trace] == ["m", "m", "m"]
+
+    def test_model_picks_use_the_same_stream(self):
+        """Weights change picks, not arrival times."""
+        a = poisson_trace(50_000, 64, ["x", "y"], weights=[1, 1], seed=3)
+        b = poisson_trace(50_000, 64, ["x", "y"], weights=[9, 1], seed=3)
+        assert [e.t_us for e in a] == [e.t_us for e in b]
+        assert sum(e.model == "x" for e in b) > sum(
+            e.model == "x" for e in a
+        )
+
+
+class TestArrivalMonotonicity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_poisson_nondecreasing(self, seed):
+        trace = poisson_trace(200_000, 300, ["a", "b"], seed=seed)
+        times = [e.t_us for e in trace]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_skewed_nondecreasing(self, seed):
+        trace = skewed_trace(
+            200_000, 300, ["h"], ["c0", "c1"], hot_fraction=0.7, seed=seed
+        )
+        times = [e.t_us for e in trace]
+        assert times == sorted(times)
+
+    def test_burst_all_zero_is_trivially_sorted(self):
+        assert all(e.t_us == 0.0 for e in burst_trace(16, ["a"]))
+
+
+class TestSkewScripting:
+    def test_hot_fraction_lands_on_hot_models(self):
+        trace = skewed_trace(
+            100_000, 4_000, ["h0", "h1"], ["c0", "c1", "c2", "c3"],
+            hot_fraction=0.8, seed=1,
+        )
+        hot_share = sum(e.model in ("h0", "h1") for e in trace) / len(trace)
+        assert hot_share == pytest.approx(0.8, abs=0.03)
+        # and the hot half splits roughly evenly
+        h0 = sum(e.model == "h0" for e in trace)
+        h1 = sum(e.model == "h1" for e in trace)
+        assert abs(h0 - h1) / (h0 + h1) < 0.1
+
+    def test_only_named_models_appear(self):
+        trace = skewed_trace(100_000, 500, ["h"], ["c"], seed=2)
+        assert {e.model for e in trace} <= {"h", "c"}
+        assert {e.model for e in trace} == {"h", "c"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hot and cold"):
+            skewed_trace(1_000, 10, [], ["c"])
+        with pytest.raises(ValueError, match="both hot and cold"):
+            skewed_trace(1_000, 10, ["m"], ["m"])
+        with pytest.raises(ValueError, match="hot_fraction"):
+            skewed_trace(1_000, 10, ["h"], ["c"], hot_fraction=1.0)
+        with pytest.raises(ValueError, match="hot_fraction"):
+            skewed_trace(1_000, 10, ["h"], ["c"], hot_fraction=0.0)
