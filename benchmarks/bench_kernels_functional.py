@@ -61,9 +61,9 @@ def test_apbit_matmul_512(benchmark, rng, pair_name):
     assert out.shape == (512, 64)
 
 
-@pytest.mark.parametrize("strategy", ["integer", "bitserial"])
+@pytest.mark.parametrize("strategy", ["packed", "integer", "bitserial"])
 def test_apmm_strategies_wall_time(benchmark, rng, strategy):
-    """Relative cost of the reference path vs the paper's bit-serial path."""
+    """Relative cost of the packed fast path vs the reference paths."""
     pair = PrecisionPair.parse("w1a2")
     w = pair.weight.random_digits(rng, (512, 512))
     x = pair.activation.random_digits(rng, (64, 512))
@@ -71,3 +71,14 @@ def test_apmm_strategies_wall_time(benchmark, rng, strategy):
         lambda: apmm(w, x, pair.weight, pair.activation, strategy=strategy)
     )
     assert res.output.shape == (512, 64)
+
+
+@pytest.mark.parametrize("engine", ["word", "fma"])
+def test_bmma_batched_engines(benchmark, rng, engine):
+    """Word-domain vs FMA-routed whole-matrix popcount GEMM."""
+    from repro.tensorcore import bmma_batched
+
+    a = rng.integers(0, 2**63, size=(256, 16), dtype=np.uint64)
+    b = rng.integers(0, 2**63, size=(256, 16), dtype=np.uint64)
+    out = benchmark(lambda: bmma_batched(a, b, TCOp.XOR, engine=engine))
+    assert out.shape == (256, 256)

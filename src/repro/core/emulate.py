@@ -40,6 +40,7 @@ from .types import Precision
 __all__ = [
     "apbit_matmul",
     "apbit_matmul_planes",
+    "combine_plane_popcounts",
     "reference_matmul",
     "EmulationCounts",
     "emulation_op_counts",
@@ -98,6 +99,38 @@ def _plane_popcount(
     return popcount_reduce(combined, axis=-1)
 
 
+def combine_plane_popcounts(
+    popc: np.ndarray,
+    plan: OperatorPlan,
+    k_logical: int,
+    wsum: np.ndarray | None = None,
+    xsum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Affine correction + shifted-add combination (paper eq. 1).
+
+    ``popc`` holds the raw ``(p, q, M, N)`` plane-pair popcounts; ``wsum``
+    (``(p, M)``) and ``xsum`` (``(q, N)``) are the per-plane row bit
+    counts, required exactly when the plan's correction references them.
+    The single implementation both the plane-wise reference and the
+    packed backend's ``bmma`` engine run, so their byte-identity holds by
+    construction.
+    """
+    plane_vals = plan.popc_scale * popc
+    if plan.k_scale:
+        plane_vals = plane_vals + plan.k_scale * np.int64(k_logical)
+    if plan.needs_row_sums:
+        plane_vals = plane_vals + plan.wsum_scale * wsum[:, None, :, None]
+    if plan.needs_col_sums:
+        plane_vals = plane_vals + plan.xsum_scale * xsum[None, :, None, :]
+    p, q = popc.shape[0], popc.shape[1]
+    shifts = (
+        np.arange(p, dtype=np.int64)[:, None]
+        + np.arange(q, dtype=np.int64)[None, :]
+    )
+    weights = (np.int64(1) << shifts)[:, :, None, None]
+    return np.sum(plane_vals * weights, axis=(0, 1), dtype=np.int64)
+
+
 def apbit_matmul_planes(
     w_planes: np.ndarray,
     x_planes: np.ndarray,
@@ -135,22 +168,14 @@ def apbit_matmul_planes(
     wp = pack_bits(w_planes)
     xp = pack_bits(x_planes)
     popc = _plane_popcount(wp, xp, plan.op)  # (p, q, M, N)
-
-    plane_vals = plan.popc_scale * popc
-    if plan.k_scale:
-        plane_vals = plane_vals + plan.k_scale * np.int64(k_logical)
-    if plan.needs_row_sums:
-        # rowsum(W_s): (p, M) -> broadcast over (q, N)
-        wsum = popcount_reduce(wp, axis=-1)  # (p, M)
-        plane_vals = plane_vals + plan.wsum_scale * wsum[:, None, :, None]
-    if plan.needs_col_sums:
-        xsum = popcount_reduce(xp, axis=-1)  # (q, N)
-        plane_vals = plane_vals + plan.xsum_scale * xsum[None, :, None, :]
-
-    p, q = w_planes.shape[0], x_planes.shape[0]
-    shifts = np.arange(p, dtype=np.int64)[:, None] + np.arange(q, dtype=np.int64)[None, :]
-    weights = (np.int64(1) << shifts)[:, :, None, None]
-    out = np.sum(plane_vals * weights, axis=(0, 1), dtype=np.int64)
+    out = combine_plane_popcounts(
+        popc,
+        plan,
+        k_logical,
+        # rowsum(W_s): (p, M) -> broadcast over (q, N), and vice versa
+        wsum=popcount_reduce(wp, axis=-1) if plan.needs_row_sums else None,
+        xsum=popcount_reduce(xp, axis=-1) if plan.needs_col_sums else None,
+    )
 
     if check_overflow and out.size and (
         out.min() < INT32_MIN or out.max() > INT32_MAX

@@ -16,8 +16,11 @@ of the GEMM machinery:
 * the same **batch-based double caching** and autotuned tiling as APMM
   (the workload is ``p*q`` binary convolutions batched into one kernel).
 
-Both execution strategies (``"integer"`` reference / ``"bitserial"``
-Tensor-Core emulation) return identical outputs.
+All three execution strategies (``"packed"`` vectorized packed-word fast
+path -- the default, one whole-matrix popcount-reduce GEMM over the
+im2col'd features instead of the per-plane broadcast -- / ``"integer"``
+reference / ``"bitserial"`` plane-wise Tensor-Core emulation) return
+identical outputs.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.emulate import apbit_matmul, reference_matmul
+from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
 from ..perf.cost import KernelCost, conv_cost
@@ -61,7 +65,7 @@ def apconv(
     padding: int = 0,
     device: DeviceSpec = RTX3090,
     config: TileConfig | None = None,
-    strategy: str = "integer",
+    strategy: str = "packed",
     out_quantizer: AffineQuantizer | None = None,
     channel_major: bool = True,
     decompose_input: bool = True,
@@ -84,7 +88,7 @@ def apconv(
     batch, cin_x, h, w = x_digits.shape
     if cin != cin_x:
         raise ValueError(f"channel mismatch: weights C_in={cin}, features C_in={cin_x}")
-    if strategy not in ("integer", "bitserial"):
+    if strategy not in ("packed", "integer", "bitserial"):
         raise ValueError(f"unknown strategy {strategy!r}")
 
     oh, ow = conv_output_shape(h, w, kh, stride, padding)
@@ -101,7 +105,9 @@ def apconv(
         config = tune.config
     config.validate_for_device(device)
 
-    if strategy == "bitserial":
+    if strategy == "packed":
+        acc = packed_matmul(w_flat, cols, weight, feature)
+    elif strategy == "bitserial":
         acc = apbit_matmul(w_flat, cols, weight, feature)
     else:
         acc = reference_matmul(w_flat, cols, weight, feature)

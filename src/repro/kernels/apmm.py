@@ -7,12 +7,20 @@ shape ``(M, K)`` and a ``q``-bit feature matrix ``X`` of shape ``(N, K)``
 re-quantized to an arbitrary low-bit output when it feeds the next APNN
 layer (the memory-efficient bit combination of section 4.1b).
 
-Two execution strategies produce bit-identical results:
+Three execution strategies produce bit-identical results:
 
-* ``"bitserial"`` -- the paper's algorithm on the simulated Tensor Core:
-  decompose -> packed-word Boolean GEMM -> shifted-add combination;
-* ``"integer"`` -- reference integer GEMM on the decoded operands, used by
-  the NN engine for speed.  Tests assert equivalence on random problems.
+* ``"packed"`` (default) -- the vectorized packed-word backend
+  (:mod:`repro.core.packed`): bit-planes packed into ``uint64`` words,
+  one whole-matrix popcount-reduce GEMM
+  (:func:`~repro.tensorcore.bmma.bmma_batched`) with plane-folding when
+  exact -- the fast path every caller takes automatically;
+* ``"bitserial"`` -- the plane-wise reference: decompose -> per-plane-pair
+  packed-word Boolean GEMM -> shifted-add combination;
+* ``"integer"`` -- reference integer GEMM on the decoded operands.
+
+Tests assert three-way equivalence on random problems, and the packed
+path is additionally held byte-identical to the tile-level oracle
+:func:`~repro.kernels.apmm_sim.apmm_tile_simulate`.
 
 Regardless of strategy, the returned :class:`APMMResult` carries the
 kernel cost assembled from the *batched double caching* design: the
@@ -29,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.emulate import apbit_matmul, reference_matmul
+from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
 from ..perf.cost import KernelCost, gemm_cost
@@ -38,7 +47,7 @@ from .tiling import TileConfig
 
 __all__ = ["APMMResult", "apmm", "STRATEGIES"]
 
-STRATEGIES = ("integer", "bitserial")
+STRATEGIES = ("packed", "integer", "bitserial")
 
 
 @dataclass
@@ -61,7 +70,7 @@ def apmm(
     *,
     device: DeviceSpec = RTX3090,
     config: TileConfig | None = None,
-    strategy: str = "integer",
+    strategy: str = "packed",
     out_quantizer: AffineQuantizer | None = None,
     batch_planes: bool = True,
     double_caching: bool = True,
@@ -81,8 +90,9 @@ def apmm(
     config:
         Explicit tiling; autotuned per the paper's heuristic when omitted.
     strategy:
-        ``"integer"`` (fast reference) or ``"bitserial"`` (the paper's
-        Tensor-Core path); identical outputs.
+        ``"packed"`` (vectorized packed-word fast path, default),
+        ``"integer"`` (decoded-integer reference) or ``"bitserial"``
+        (plane-wise Tensor-Core reference); identical outputs.
     out_quantizer:
         Optional fused re-quantization to an arbitrary-precision output
         (section 4.1b); the cost then writes ``q_out``-bit packed data.
@@ -109,7 +119,9 @@ def apmm(
         config = tune.config
     config.validate_for_device(device)
 
-    if strategy == "bitserial":
+    if strategy == "packed":
+        acc = packed_matmul(w_digits, x_digits, weight, feature)
+    elif strategy == "bitserial":
         acc = apbit_matmul(w_digits, x_digits, weight, feature)
     else:
         acc = reference_matmul(w_digits, x_digits, weight, feature)

@@ -5,6 +5,7 @@ from .engine import (
     APNNBackend,
     BNNBackend,
     CompiledPlan,
+    GemmProblem,
     GroupReport,
     InferenceEngine,
     LibraryBackend,
@@ -58,4 +59,5 @@ __all__ = [
     "ModelReport",
     "PlannedGroup",
     "CompiledPlan",
+    "GemmProblem",
 ]

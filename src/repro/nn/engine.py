@@ -74,6 +74,7 @@ __all__ = [
     "ModelReport",
     "PlannedGroup",
     "CompiledPlan",
+    "GemmProblem",
     "InferenceEngine",
 ]
 
@@ -218,6 +219,31 @@ class PlannedGroup:
     kind: str
     costs: tuple[KernelCost, ...]
     output_shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One GEMM a plan dispatches: the (implicit-)GEMM shape + precisions.
+
+    ``repro.bench`` pulls these from :meth:`InferenceEngine.gemm_problems`
+    so its serving suite times exactly the matrix products a served model's
+    kernels execute -- shapes and ``wXaY`` pairs included.
+    """
+
+    layer: str
+    kind: str  # "conv" (implicit GEMM) | "linear"
+    m: int
+    n: int
+    k: int
+    w_bits: int
+    a_bits: int
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.kind}-w{self.w_bits}a{self.a_bits}-"
+            f"{self.m}x{self.n}x{self.k}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -640,6 +666,38 @@ class InferenceEngine:
         return costs
 
     # ------------------------------------------------------------------
+    def _gemm_precisions(self, records) -> list[tuple[int, int] | None]:
+        """Per-record ``(w_bits, a_bits)`` for GEMM groups, ``None`` for
+        epilogue-only groups.
+
+        The single source of truth for precision assignment -- per-layer
+        overrides and the first-GEMM activation override included -- shared
+        by :meth:`compile` and :meth:`gemm_problems` so ``repro.bench``
+        always benchmarks the pairs the plans actually dispatch.
+        """
+        pair = getattr(self.backend, "pair", None)
+        bits: list[tuple[int, int] | None] = []
+        first_gemm_seen = False
+        for group, *_ in records:
+            if group.main is None:
+                bits.append(None)
+                continue
+            if pair is not None:
+                layer_pair = (
+                    self.backend.pair_for(group.main.name)
+                    if isinstance(self.backend, APNNBackend) else pair
+                )
+                w_bits = layer_pair.weight.bits
+                a_bits = (
+                    layer_pair.activation.bits if first_gemm_seen
+                    else self.backend.first_layer_activation_bits
+                )
+            else:
+                w_bits = a_bits = self.backend.element_bits
+            first_gemm_seen = True
+            bits.append((w_bits, a_bits))
+        return bits
+
     def compile(
         self,
         batch: int,
@@ -657,24 +715,14 @@ class InferenceEngine:
             plans = dataflow.groups
 
         planned: list[PlannedGroup] = []
-        first_gemm_seen = False
+        precisions = self._gemm_precisions(records)
         for idx, (group, gin, epilogue_elems, out_shape) in enumerate(records):
             if group.main is not None:
-                if pair is not None:
-                    layer_pair = (
-                        self.backend.pair_for(group.main.name)
-                        if isinstance(self.backend, APNNBackend) else pair
-                    )
-                    w_bits = layer_pair.weight.bits
-                    a_bits = (
-                        layer_pair.activation.bits if first_gemm_seen
-                        else self.backend.first_layer_activation_bits
-                    )
-                    out_bits = plans[idx].out_bits
-                else:
-                    w_bits = a_bits = self.backend.element_bits
-                    out_bits = self.backend.element_bits
-                first_gemm_seen = True
+                w_bits, a_bits = precisions[idx]
+                out_bits = (
+                    plans[idx].out_bits if pair is not None
+                    else self.backend.element_bits
+                )
                 costs = self._assemble_gemm_group(
                     group, gin, epilogue_elems, out_shape,
                     w_bits, a_bits, out_bits,
@@ -708,3 +756,47 @@ class InferenceEngine:
     ) -> ModelReport:
         """Price the full network at the given batch size."""
         return self.compile(batch, input_shape).price(self.latency_model)
+
+    def gemm_problems(
+        self,
+        batch: int,
+        input_shape: tuple[int, int, int] = (3, 224, 224),
+    ) -> tuple[GemmProblem, ...]:
+        """The GEMM problems this model dispatches at ``batch``.
+
+        Walks the same fused groups and precision assignment as
+        :meth:`compile` (first-layer activation override included) and
+        returns each Conv2d/Linear group's (implicit-)GEMM shape.  This is
+        how ``repro.bench`` derives serving-relevant shapes: the packed
+        fast path is benchmarked on exactly the matrix products a served
+        model runs.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        records = self._walk_shapes((batch,) + tuple(input_shape))
+        precisions = self._gemm_precisions(records)
+        problems: list[GemmProblem] = []
+        for idx, (group, gin, _, _) in enumerate(records):
+            layer = group.main
+            if layer is None:
+                continue
+            w_bits, a_bits = precisions[idx]
+            if isinstance(layer, Conv2d):
+                n, c, h, w = gin
+                m, n_gemm, k = conv_gemm_dims(
+                    n, c, layer.out_channels, h, w, layer.kernel,
+                    layer.stride, layer.padding,
+                )
+                problems.append(
+                    GemmProblem(
+                        layer.name, "conv", m, n_gemm, k, w_bits, a_bits
+                    )
+                )
+            else:
+                problems.append(
+                    GemmProblem(
+                        layer.name, "linear", layer.out_features,
+                        gin[0], layer.in_features, w_bits, a_bits,
+                    )
+                )
+        return tuple(problems)

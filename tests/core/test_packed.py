@@ -1,0 +1,227 @@
+"""Equivalence suite for the vectorized packed-word backend.
+
+The packed path must be byte-identical to every other way this repo
+computes the AP-Bit product:
+
+* the plane-wise reference (:func:`repro.core.emulate.apbit_matmul`),
+* the decoded-integer reference (:func:`repro.core.emulate.reference_matmul`),
+* the tile-level oracle (:func:`repro.kernels.apmm_sim.apmm_tile_simulate`),
+
+across ``wXaY`` pairs, signed (bipolar) / unsigned quantizer encodings,
+and ragged (non-multiple-of-64) reduction lengths — for both execution
+engines (``bmma`` word-domain and ``fold`` plane-folded FMA).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Encoding,
+    PackedOperand,
+    Precision,
+    apbit_matmul,
+    fold_exactness_bound,
+    pack_operand,
+    packed_matmul,
+    reference_matmul,
+    select_operator,
+)
+from repro.core.bitops import unpack_bits
+
+U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
+
+ENCODINGS = st.sampled_from([U, B])
+
+
+def _operands(seed, m, n, k, wp, xp):
+    rng = np.random.default_rng(seed)
+    return wp.random_digits(rng, (m, k)), xp.random_digits(rng, (n, k))
+
+
+class TestHypothesisEquivalence:
+    """The satellite suite: engines vs plane-wise references."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        m=st.integers(1, 24),
+        n=st.integers(1, 24),
+        # deliberately crosses the 64-bit word boundary: ragged K on both
+        # sides of one and two packed words
+        k=st.integers(1, 150),
+        wbits=st.integers(1, 4),
+        xbits=st.integers(1, 4),
+        wenc=ENCODINGS,
+        xenc=ENCODINGS,
+        engine=st.sampled_from(["bmma", "fold", "auto"]),
+    )
+    def test_matches_planewise_and_integer_references(
+        self, seed, m, n, k, wbits, xbits, wenc, xenc, engine
+    ):
+        wp, xp = Precision(wbits, wenc), Precision(xbits, xenc)
+        W, X = _operands(seed, m, n, k, wp, xp)
+        ref = apbit_matmul(W, X, wp, xp)
+        out = packed_matmul(W, X, wp, xp, engine=engine)
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)
+        assert np.array_equal(out, reference_matmul(W, X, wp, xp))
+
+    @pytest.mark.slow
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        m=st.integers(1, 20),
+        n=st.integers(1, 20),
+        k=st.integers(1, 140),
+        wbits=st.integers(1, 3),
+        xbits=st.integers(1, 3),
+        wenc=ENCODINGS,
+        xenc=ENCODINGS,
+    )
+    def test_matches_tile_simulation_oracle(
+        self, seed, m, n, k, wbits, xbits, wenc, xenc
+    ):
+        from repro.kernels import TileConfig, apmm_tile_simulate
+
+        wp, xp = Precision(wbits, wenc), Precision(xbits, xenc)
+        W, X = _operands(seed, m, n, k, wp, xp)
+        oracle, _ = apmm_tile_simulate(W, X, wp, xp, TileConfig(16, 16))
+        for engine in ("bmma", "fold"):
+            assert np.array_equal(
+                packed_matmul(W, X, wp, xp, engine=engine), oracle
+            )
+
+
+class TestTileOracleCases:
+    """Deterministic oracle pins (every encoding case, padding, ragged K)."""
+
+    CASES = [
+        (16, 16, 128, Precision(1, B), Precision(2, U)),
+        (16, 16, 128, Precision(1, B), Precision(1, B)),
+        (16, 16, 128, Precision(2, U), Precision(2, U)),
+        (16, 16, 128, Precision(2, U), Precision(1, B)),
+        (24, 20, 96, Precision(1, B), Precision(2, U)),
+        (8, 8, 130, Precision(1, B), Precision(2, U)),
+    ]
+
+    @pytest.mark.parametrize("m,n,k,wp,xp", CASES)
+    def test_byte_identical_to_oracle(self, m, n, k, wp, xp):
+        from repro.kernels import TileConfig, apmm_tile_simulate
+
+        W, X = _operands(42, m, n, k, wp, xp)
+        oracle, _ = apmm_tile_simulate(W, X, wp, xp, TileConfig(16, 16))
+        for engine in ("bmma", "fold"):
+            out = packed_matmul(W, X, wp, xp, engine=engine)
+            assert out.dtype == oracle.dtype
+            assert np.array_equal(out, oracle)
+
+
+class TestPackedOperand:
+    def test_pack_roundtrip_and_batched_layout(self):
+        wp = Precision(3, U)
+        rng = np.random.default_rng(5)
+        digits = wp.random_digits(rng, (7, 100))
+        op = pack_operand(digits, wp)
+        assert isinstance(op, PackedOperand)
+        assert op.bits == 3 and op.rows == 7 and op.k_logical == 100
+        assert op.nwords == 2  # ceil(100 / 64)
+        # batched row s*rows + r is plane s of row r
+        batched = op.batched()
+        for s in range(op.bits):
+            for r in range(op.rows):
+                bits = unpack_bits(batched[s * op.rows + r], 100)
+                assert np.array_equal(bits, (digits[r] >> s) & 1)
+
+    def test_row_popcounts(self):
+        wp = Precision(2, U)
+        digits = np.array([[0, 1, 2, 3], [3, 3, 3, 3]], dtype=np.int64)
+        op = pack_operand(digits, wp)
+        # plane 0: [0,1,0,1] -> 2 ; [1,1,1,1] -> 4
+        # plane 1: [0,0,1,1] -> 2 ; [1,1,1,1] -> 4
+        assert np.array_equal(op.row_popcounts(), [[2, 4], [2, 4]])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_operand(np.zeros((2, 2, 2), dtype=np.int64), Precision(1))
+
+
+class TestValidationAndEngines:
+    def test_unknown_engine(self):
+        W = np.zeros((4, 8), dtype=np.int64)
+        with pytest.raises(ValueError, match="engine"):
+            packed_matmul(W, W, Precision(1), Precision(1), engine="magic")
+
+    def test_k_mismatch(self):
+        with pytest.raises(ValueError, match="reduction mismatch"):
+            packed_matmul(
+                np.zeros((4, 8), dtype=np.int64),
+                np.zeros((4, 9), dtype=np.int64),
+                Precision(1),
+                Precision(1),
+            )
+
+    def test_digit_range_validated(self):
+        W = np.full((2, 4), 2, dtype=np.int64)  # needs 2 bits
+        X = np.zeros((2, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="out of range"):
+            packed_matmul(W, X, Precision(1), Precision(1))
+
+    def test_overflow_checked_like_reference(self):
+        # K * 255 * 255 > int32: both paths must refuse identically
+        wp, xp = Precision(8, U), Precision(8, U)
+        W = np.full((1, 40000), 255, dtype=np.int64)
+        X = np.full((1, 40000), 255, dtype=np.int64)
+        with pytest.raises(OverflowError):
+            apbit_matmul(W, X, wp, xp)
+        with pytest.raises(OverflowError):
+            packed_matmul(W, X, wp, xp)
+        out = packed_matmul(W, X, wp, xp, check_overflow=False)
+        assert np.array_equal(out, reference_matmul(W, X, wp, xp))
+
+    def test_fold_bound_refused_when_inexact(self):
+        assert fold_exactness_bound(100, 8, 8) == 100 * 255 * 255
+        wp, xp = Precision(16, U), Precision(16, U)
+        k = (1 << 53) // ((1 << 16) - 1) ** 2 + 1
+        W = np.zeros((1, k), dtype=np.int64)
+        with pytest.raises(ValueError, match="exactness bound"):
+            packed_matmul(W, W, wp, xp, engine="fold")
+        # auto must fall back to the bmma engine, not fail
+        out = packed_matmul(W, W, wp, xp, engine="auto")
+        assert np.array_equal(out, np.zeros((1, 1), dtype=np.int64))
+
+    def test_fold_uses_float64_above_float32_bound(self):
+        # K * (2^p - 1)(2^q - 1) >= 2^24 forces the float64 path; results
+        # must stay exact there too
+        wp, xp = Precision(8, B), Precision(8, U)
+        W, X = _operands(3, 4, 4, 300, wp, xp)
+        assert fold_exactness_bound(300, 8, 8) >= 1 << 24
+        assert np.array_equal(
+            packed_matmul(W, X, wp, xp, engine="fold"),
+            apbit_matmul(W, X, wp, xp),
+        )
+
+    def test_counters_tally_bmma_engine_work(self):
+        from repro.tensorcore import ExecutionCounters
+
+        wp, xp = Precision(2, B), Precision(2, U)
+        W, X = _operands(4, 16, 16, 128, wp, xp)
+        counters = ExecutionCounters()
+        packed_matmul(W, X, wp, xp, engine="bmma", counters=counters)
+        # batched operand: (2*16) x (2*16) rows over ceil(128/128) K tiles
+        assert counters.bmma_calls == 4 * 4 * 1
+        assert counters.tc_macs == counters.bmma_calls * 8 * 8 * 128
+
+    def test_plan_selection_matches_opselect(self):
+        # the packed path must honor the same operator plan the reference
+        # uses (regression guard for the folded correction algebra)
+        for wenc in (U, B):
+            for xenc in (U, B):
+                wp, xp = Precision(2, wenc), Precision(2, xenc)
+                plan = select_operator(wp, xp)
+                W, X = _operands(6, 9, 11, 70, wp, xp)
+                assert np.array_equal(
+                    packed_matmul(W, X, wp, xp, engine="fold"),
+                    apbit_matmul(W, X, wp, xp),
+                ), plan.case

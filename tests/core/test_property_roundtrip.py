@@ -28,6 +28,10 @@ from repro.core.quantize import (
 )
 from repro.core.types import Encoding
 
+# hypothesis-heavy: the CI unit job deselects these and the serving job
+# (and tier-1) runs them
+pytestmark = pytest.mark.slow
+
 #: Every wXaY pair the kernels support in tests, edge widths first.
 PAIR_NAMES = [
     "w1a1", "w1a2", "w1a4", "w1a8", "w2a2", "w2a8", "w3a3", "w4a4", "w8a8",

@@ -55,11 +55,20 @@ class TestCorrectness:
         assert np.array_equal(res.output, ref)
 
     @pytest.mark.parametrize("wp,xp", ENCODINGS)
-    def test_bitserial_equals_integer(self, wp, xp):
+    def test_all_strategies_agree(self, wp, xp):
         W, X = _rand_conv(1, wp, xp)
         a = apconv(W, X, wp, xp, padding=1, strategy="integer")
         b = apconv(W, X, wp, xp, padding=1, strategy="bitserial")
+        c = apconv(W, X, wp, xp, padding=1, strategy="packed")
         assert np.array_equal(a.output, b.output)
+        assert np.array_equal(a.output, c.output)
+
+    def test_default_strategy_is_packed(self):
+        wp, xp = Precision(1, B), Precision(2, U)
+        W, X = _rand_conv(7, wp, xp)
+        default = apconv(W, X, wp, xp, padding=1)
+        packed = apconv(W, X, wp, xp, padding=1, strategy="packed")
+        assert np.array_equal(default.output, packed.output)
 
     def test_kernel1x1(self):
         wp, xp = Precision(1, B), Precision(2, U)

@@ -22,12 +22,26 @@ def _operands(seed, m, n, k, pair):
 
 class TestStrategiesAgree:
     @pytest.mark.parametrize("name", ["w1a1", "w1a2", "w2a2", "w1a4", "w2a8"])
-    def test_integer_equals_bitserial(self, name):
+    def test_all_strategies_agree(self, name):
         pair = PrecisionPair.parse(name)
         W, X = _operands(0, 40, 24, 200, pair)
         a = apmm(W, X, pair.weight, pair.activation, strategy="integer")
         b = apmm(W, X, pair.weight, pair.activation, strategy="bitserial")
+        c = apmm(W, X, pair.weight, pair.activation, strategy="packed")
         assert np.array_equal(a.output, b.output)
+        assert np.array_equal(a.output, c.output)
+
+    def test_default_strategy_is_packed(self):
+        pair = PrecisionPair.parse("w1a2")
+        W, X = _operands(12, 16, 16, 96, pair)
+        default = apmm(W, X, pair.weight, pair.activation)
+        packed = apmm(W, X, pair.weight, pair.activation, strategy="packed")
+        assert np.array_equal(default.output, packed.output)
+        # and the costed facts do not depend on the execution strategy
+        bitserial = apmm(
+            W, X, pair.weight, pair.activation, strategy="bitserial"
+        )
+        assert default.cost == bitserial.cost
 
     @settings(max_examples=20, deadline=None)
     @given(
@@ -44,7 +58,9 @@ class TestStrategiesAgree:
         W, X = wp.random_digits(rng, (m, k)), xp.random_digits(rng, (n, k))
         a = apmm(W, X, wp, xp, strategy="integer")
         b = apmm(W, X, wp, xp, strategy="bitserial")
+        c = apmm(W, X, wp, xp, strategy="packed")
         assert np.array_equal(a.output, b.output)
+        assert np.array_equal(a.output, c.output)
 
     def test_unknown_strategy(self):
         W = np.zeros((8, 8), dtype=np.int64)

@@ -15,6 +15,10 @@ from repro.core import Encoding, Precision, reference_matmul
 from repro.kernels import TileConfig, apmm, apmm_tile_simulate
 from repro.perf import gemm_cost
 
+# explicit block/warp/bmma iteration: the CI unit job deselects these and
+# the serving job (and tier-1) runs them
+pytestmark = pytest.mark.slow
+
 U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
 
 COUNTER_FIELDS = [

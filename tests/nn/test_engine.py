@@ -214,3 +214,56 @@ class TestPrecisionTradeoffs:
         x = np.random.default_rng(0).normal(size=(1, 3, 224, 224)).astype(np.float32)
         out = eng.forward(x)
         assert out.shape == (1, 100)
+
+
+class TestGemmProblems:
+    """repro.bench derives its serving-relevant shapes from this walk."""
+
+    def test_matches_alexnet_first_conv(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        problems = eng.gemm_problems(batch=4)
+        first = problems[0]
+        assert first.kind == "conv"
+        # AlexNet conv1: 64 filters, 11x11x3 window, stride 4, pad 2
+        assert first.m == 64
+        assert first.k == 3 * 11 * 11
+        assert first.n == 4 * 55 * 55
+        # first GEMM runs 8-bit activations (int8 image), later ones the
+        # backend pair
+        assert first.a_bits == 8
+        assert problems[1].a_bits == W1A2.activation.bits
+        assert all(p.w_bits == W1A2.weight.bits for p in problems)
+
+    def test_one_problem_per_gemm_group(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        problems = eng.gemm_problems(batch=2)
+        plan = eng.compile(2)
+        gemm_groups = [
+            g for g in plan.groups if g.kind in ("Conv2d", "Linear")
+        ]
+        assert len(problems) == len(gemm_groups)
+        kinds = {"Conv2d": "conv", "Linear": "linear"}
+        for prob, group in zip(problems, gemm_groups):
+            assert prob.kind == kinds[group.kind]
+
+    def test_library_backend_uses_element_bits(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, LibraryBackend("int8"))
+        problems = eng.gemm_problems(batch=1)
+        assert all(p.w_bits == 8 and p.a_bits == 8 for p in problems)
+
+    def test_mixed_precision_overrides_respected(self, small_alexnet):
+        backend = APNNBackend.mixed("w1a2", {"fc8": "w4a4"})
+        eng = InferenceEngine(small_alexnet, backend)
+        by_layer = {p.layer: p for p in eng.gemm_problems(batch=1)}
+        assert by_layer["fc8"].w_bits == 4 and by_layer["fc8"].a_bits == 4
+        assert by_layer["fc7"].w_bits == 1 and by_layer["fc7"].a_bits == 2
+
+    def test_batch_validated_and_name_stable(self, small_alexnet):
+        eng = InferenceEngine(small_alexnet, APNNBackend(W1A2))
+        with pytest.raises(ValueError, match="batch"):
+            eng.gemm_problems(batch=0)
+        prob = eng.gemm_problems(batch=1)[-1]
+        assert prob.name == (
+            f"{prob.kind}-w{prob.w_bits}a{prob.a_bits}-"
+            f"{prob.m}x{prob.n}x{prob.k}"
+        )

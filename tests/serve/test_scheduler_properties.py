@@ -28,7 +28,7 @@ from repro.serve import (
     WFQDiscipline,
 )
 
-pytestmark = pytest.mark.serving
+pytestmark = [pytest.mark.serving, pytest.mark.slow]  # hypothesis-heavy
 
 DISCIPLINES = [FIFODiscipline(), EDFDiscipline(), WFQDiscipline()]
 
