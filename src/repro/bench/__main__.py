@@ -12,6 +12,13 @@ table, and -- unless ``--no-check`` -- gates against the committed
 baseline (``benchmarks/baselines/BENCH_kernels.json``): exit 1 on any
 byte-identity failure, a gemm-suite geomean speedup below the floor, or a
 tracked kernel regressing more than the tolerance.
+
+``--report`` additionally appends a trend row to ``BENCH_trend.csv`` and
+renders ``BENCH_report.md`` (kernel tables + serving modeled cost + trend
+history; ``--report-experiments`` folds in serving-experiment tables).
+``--trace PATH`` records every kernel execution as wall-clock spans and
+writes a Chrome-trace JSON (open in ``chrome://tracing`` / Perfetto) plus
+a ``.jsonl`` span log next to it.
 """
 
 from __future__ import annotations
@@ -32,6 +39,32 @@ from . import (
     merge_best,
     run_suite,
 )
+
+
+def _emit_report(args, report_dict: dict) -> int:
+    """Append the trend row and render the markdown report (``--report``)."""
+    from .report import (
+        REPORT_FILENAME,
+        TREND_FILENAME,
+        append_trend_row,
+        render_report,
+        trend_row,
+    )
+
+    out_dir = args.out or pathlib.Path(
+        os.environ.get("REPRO_RESULTS_DIR", "results")
+    )
+    trend_path = args.trend or DEFAULT_BASELINE_PATH.parent / TREND_FILENAME
+    rows = append_trend_row(trend_path, trend_row(report_dict))
+    md = render_report(
+        report_dict, rows, experiments=tuple(args.report_experiments or ()),
+    )
+    report_path = out_dir / REPORT_FILENAME
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(md)
+    print(f"appended trend row to {trend_path} ({len(rows)} rows)")
+    print(f"wrote {report_path}")
+    return 0
 
 
 def _format_table(report) -> str:
@@ -92,10 +125,44 @@ def main(argv: list[str] | None = None) -> int:
                         help="floor on the gemm suite's geomean speedup "
                              f"(default {DEFAULT_MIN_GEMM_SPEEDUP:.0f}; 0 "
                              "disables)")
+    parser.add_argument("--report", action="store_true",
+                        help="append a trend row to BENCH_trend.csv and "
+                             "render BENCH_report.md under --out")
+    parser.add_argument("--report-from", type=pathlib.Path, default=None,
+                        metavar="JSON",
+                        help="report on an existing BENCH_kernels.json "
+                             "instead of running the suite (implies "
+                             "--report and skips the gate)")
+    parser.add_argument("--trend", type=pathlib.Path, default=None,
+                        help="trend CSV to append to (default: "
+                             "benchmarks/baselines/BENCH_trend.csv)")
+    parser.add_argument("--report-experiments", nargs="*", default=None,
+                        metavar="EXP",
+                        help="experiment ids to fold into the report "
+                             "(e.g. scheduling warmup placement)")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="record kernel executions and write a "
+                             "Chrome-trace JSON there (+ .jsonl sibling)")
     args = parser.parse_args(argv)
 
+    if args.report_from is not None:
+        return _emit_report(args, report_dict=load_report(args.report_from))
+
     tier_name = "smoke" if args.smoke else ("fast" if args.fast else "full")
-    report = run_suite(tier_name, repeats=args.repeats, seed=args.seed)
+    if args.trace is not None:
+        from ..obs import Tracer, trace_kernels, write_chrome_trace, write_jsonl
+
+        tracer = Tracer()
+        with trace_kernels(tracer):
+            report = run_suite(tier_name, repeats=args.repeats, seed=args.seed)
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(tracer, args.trace)
+        n = write_jsonl(tracer, args.trace.with_suffix(".jsonl"))
+        print(f"traced {n} kernel executions -> {args.trace} "
+              f"(+ {args.trace.with_suffix('.jsonl').name})")
+    else:
+        report = run_suite(tier_name, repeats=args.repeats, seed=args.seed)
     print(_format_table(report))
 
     out_dir = args.out or pathlib.Path(
@@ -104,6 +171,11 @@ def main(argv: list[str] | None = None) -> int:
     out_path = out_dir / RESULT_FILENAME
     report.write(out_path)
     print(f"\nwrote {out_path}")
+
+    if args.report:
+        # report before the gate: a regression must not suppress the
+        # artifact that explains it
+        _emit_report(args, report_dict=report.to_dict())
 
     baseline_path = args.baseline or DEFAULT_BASELINE_PATH
     if args.update_baseline:

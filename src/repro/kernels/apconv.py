@@ -25,6 +25,7 @@ identical outputs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,7 @@ from ..core.emulate import apbit_matmul, reference_matmul
 from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
+from ..obs import kernel_tracer
 from ..perf.cost import KernelCost, conv_cost
 from ..tensorcore.device import DeviceSpec, RTX3090
 from .autotune import TuneResult, autotune
@@ -76,6 +78,10 @@ def apconv(
     digits in, ``(N, C_out, OH, OW)`` out (int64 accumulators, or digits
     when ``out_quantizer`` re-quantizes for the next layer).
     """
+    # Kernel-boundary tracing (wall clock; same hook as apmm).
+    tracer = kernel_tracer()
+    t0_us = time.perf_counter() * 1e6 if tracer.enabled else 0.0
+
     w_digits = np.asarray(w_digits)
     x_digits = np.asarray(x_digits)
     if w_digits.ndim != 4:
@@ -137,6 +143,15 @@ def apconv(
         decompose_input=decompose_input,
         name=f"apconv-w{weight.bits}a{feature.bits}-{cin}->{cout}@{h}x{w}k{kh}s{stride}",
     )
+    if tracer.enabled:
+        tracer.span(
+            cost.name, "kernel", t0_us, time.perf_counter() * 1e6,
+            track="wall", lane="apconv",
+            strategy=strategy, batch=batch, cin=cin, cout=cout,
+            kernel=kh, stride=stride, padding=padding,
+            weight_bits=weight.bits, feature_bits=feature.bits,
+            **cost.counters.as_dict(),
+        )
     return APConvResult(
         output=out,
         cost=cost,

@@ -32,6 +32,7 @@ naive designs the paper compares against.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..core.emulate import apbit_matmul, reference_matmul
 from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
+from ..obs import kernel_tracer
 from ..perf.cost import KernelCost, gemm_cost
 from ..tensorcore.device import DeviceSpec, RTX3090
 from .autotune import TuneResult, autotune
@@ -99,6 +101,12 @@ def apmm(
     batch_planes / double_caching / decompose_input:
         Ablation switches for the paper's design points (default = paper).
     """
+    # Kernel-boundary tracing (wall clock: this really executes).  The
+    # default tracer is the shared no-op, so untraced callers pay one
+    # attribute load.
+    tracer = kernel_tracer()
+    t0_us = time.perf_counter() * 1e6 if tracer.enabled else 0.0
+
     w_digits = np.asarray(w_digits)
     x_digits = np.asarray(x_digits)
     if w_digits.ndim != 2 or x_digits.ndim != 2:
@@ -142,6 +150,14 @@ def apmm(
         decompose_input=decompose_input,
         name=f"apmm-w{weight.bits}a{feature.bits}-{m}x{n}x{k}",
     )
+    if tracer.enabled:
+        tracer.span(
+            cost.name, "kernel", t0_us, time.perf_counter() * 1e6,
+            track="wall", lane="apmm",
+            strategy=strategy, m=m, n=n, k=k,
+            weight_bits=weight.bits, feature_bits=feature.bits,
+            **cost.counters.as_dict(),
+        )
     return APMMResult(
         output=output,
         cost=cost,

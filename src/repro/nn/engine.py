@@ -31,7 +31,7 @@ memoizes compiled plans so repeat requests never re-plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -252,10 +252,7 @@ class GemmProblem:
 def _cost_to_dict(cost: KernelCost) -> dict[str, Any]:
     return {
         "name": cost.name,
-        "counters": {
-            f.name: getattr(cost.counters, f.name)
-            for f in fields(cost.counters)
-        },
+        "counters": cost.counters.as_dict(),
         "compute_class": cost.compute_class,
         "efficiency_key": cost.efficiency_key,
         "warps_per_block": cost.warps_per_block,

@@ -1,0 +1,50 @@
+"""Observability: hierarchical span tracing plus trace exporters.
+
+``repro.obs`` is the one layer everything else may import (kernels,
+serving, bench) and which imports none of them back -- keeping the
+tracer usable at the very bottom of the stack (kernel entry points)
+without circular imports.
+
+See :mod:`repro.obs.tracer` for the span model and the no-op default,
+and :mod:`repro.obs.export` for JSONL and Chrome-trace/Perfetto output.
+"""
+
+from .export import (
+    TRACK_LABELS,
+    TRACK_PIDS,
+    chrome_trace,
+    read_jsonl,
+    to_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .tracer import (
+    NULL_TRACER,
+    TRACKS,
+    NullTracer,
+    Span,
+    Tracer,
+    kernel_tracer,
+    set_kernel_tracer,
+    trace_kernels,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACKS",
+    "TRACK_PIDS",
+    "TRACK_LABELS",
+    "kernel_tracer",
+    "set_kernel_tracer",
+    "trace_kernels",
+    "to_spans",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,171 @@
+"""Trace exporters: structured JSONL and Chrome-trace/Perfetto JSON.
+
+Two formats, one span model:
+
+* :func:`write_jsonl` -- one :meth:`~repro.obs.tracer.Span.to_dict`
+  object per line, grep/jq-friendly, lossless (the JSONL file round
+  trips through :func:`read_jsonl`).
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the
+  ``trace_event`` JSON object format that ``chrome://tracing`` and
+  Perfetto's legacy importer open directly.  Spans become complete
+  (``"ph": "X"``) events; zero-duration spans become instant
+  (``"ph": "i"``) events so admission/placement markers render as
+  ticks rather than invisible boxes.
+
+Clock mapping: Chrome traces have a single timestamp unit (µs), but the
+repo's spans live on two incommensurable clocks -- the simulated
+discrete-event clock and the process wall clock.  The exporter keeps
+them apart structurally: track ``"sim"`` maps to pid 1, track ``"wall"``
+to pid 2, with ``process_name`` metadata labelling each, so the viewer
+shows two clearly named process groups instead of a lying shared axis.
+Within a track, each distinct ``lane`` (worker, model, logical lane)
+gets its own tid plus a ``thread_name`` metadata record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "to_spans",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Chrome-trace pid per span track (one fake "process" per clock).
+TRACK_PIDS = {"sim": 1, "wall": 2}
+TRACK_LABELS = {"sim": "simulated clock (us)", "wall": "wall clock (us)"}
+
+
+def to_spans(source: "Tracer | Iterable[Span]") -> tuple[Span, ...]:
+    """Normalize a tracer or span iterable to a span tuple."""
+    if hasattr(source, "spans"):
+        return tuple(source.spans)
+    return tuple(source)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(source, path: str | Path) -> int:
+    """One span per line; returns the number of lines written."""
+    spans = to_spans(source)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def read_jsonl(path: str | Path) -> tuple[Span, ...]:
+    """Load spans back from a :func:`write_jsonl` file."""
+    spans = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            attributes = record.pop("attributes", {})
+            spans.append(Span(**record, attributes=attributes))
+    return tuple(spans)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def _lane_tids(spans: Sequence[Span]) -> dict[tuple[str, str], int]:
+    """Stable (track, lane) -> tid assignment, sorted for determinism."""
+    lanes = sorted({(s.track, s.lane) for s in spans})
+    return {key: tid for tid, key in enumerate(lanes, start=1)}
+
+
+def _args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = {"span_id": span.span_id}
+    if span.parent_id:
+        args["parent_id"] = span.parent_id
+    args.update(span.attributes)
+    return args
+
+
+def chrome_trace(source) -> dict[str, Any]:
+    """Render spans as a ``chrome://tracing`` / Perfetto JSON object."""
+    spans = to_spans(source)
+    tids = _lane_tids(spans)
+    events: list[dict[str, Any]] = []
+    for track, pid in sorted(TRACK_PIDS.items()):
+        if not any(s.track == track for s in spans):
+            continue
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": TRACK_LABELS[track]},
+        })
+    for (track, lane), tid in tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name",
+            "pid": TRACK_PIDS[track], "tid": tid,
+            "args": {"name": lane or track},
+        })
+    for span in sorted(spans, key=lambda s: (s.track, s.start_us, s.span_id)):
+        base = {
+            "name": span.name,
+            "cat": span.phase,
+            "pid": TRACK_PIDS[span.track],
+            "tid": tids[(span.track, span.lane)],
+            "ts": span.start_us,
+            "args": _args(span),
+        }
+        if span.is_event:
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append({**base, "ph": "X", "dur": span.duration_us})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source, path: str | Path) -> Path:
+    """Write the Chrome-trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(source), indent=1), encoding="utf-8"
+    )
+    return path
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> None:
+    """Structural sanity of an exported trace (test/CI helper).
+
+    Checks the invariants a viewer needs: an event list, complete events
+    with non-negative durations, and every pid/tid named by a metadata
+    record.  Raises ``ValueError`` on the first violation.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace has no traceEvents list")
+    named: set[tuple[int, int]] = set()
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            named.add((ev["pid"], ev["tid"]))
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i"):
+            raise ValueError(f"unexpected event phase {ph!r}")
+        if ph == "M":
+            continue
+        for key in ("name", "cat", "pid", "tid", "ts", "args"):
+            if key not in ev:
+                raise ValueError(f"event missing {key!r}: {ev}")
+        if ph == "X" and ev["dur"] < 0:
+            raise ValueError(f"negative duration: {ev}")
+        if (ev["pid"], ev["tid"]) not in named:
+            raise ValueError(
+                f"event on unnamed lane pid={ev['pid']} tid={ev['tid']}"
+            )

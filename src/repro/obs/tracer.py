@@ -1,0 +1,272 @@
+"""Hierarchical span tracing for the serving and kernel layers.
+
+The serving stack does its time accounting on a *simulated* microsecond
+clock (discrete-event watermarks, no sleeps), so spans here are recorded
+**retroactively with explicit stamps**: the instrumented code computes
+``start_us``/``end_us`` on its own clock and hands the finished interval
+to :meth:`Tracer.span`.  There is no context-manager ambient state --
+asyncio worker loops interleave arbitrarily, and a with-block tracer
+would attribute children to whichever span happened to be "current" on
+the event loop, which is exactly wrong for retroactive simulated time.
+
+Two tracks coexist in one trace:
+
+``"sim"``
+    Simulated microseconds (the paper's latency tables): request /
+    queue / batch / kernel / stage spans, admission and placement
+    events.  Stamps are the server's discrete-event clock.
+``"wall"``
+    Wall-clock microseconds (``time.perf_counter() * 1e6``): plan
+    compiles and real kernel executions -- process properties, not
+    model properties.  Exporters keep the tracks on separate process
+    rows so the two clocks are never visually conflated.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose ``enabled``
+flag is ``False``; every instrumentation site guards with
+``if tracer.enabled:`` so the hot path pays one attribute load and a
+branch -- no span objects, no attribute dicts, no behavior change (the
+no-op regression test in ``tests/serve/test_tracing.py`` asserts
+byte-identical serving outputs with tracing on, off, and absent).
+
+Kernel entry points (:func:`repro.kernels.apmm`, ``apconv``) sit below
+every layer that could thread a tracer argument through, so they pull
+theirs from a module-level hook: :func:`set_kernel_tracer` installs one
+(or use the :func:`trace_kernels` context manager), and the default is
+the null tracer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACKS",
+    "kernel_tracer",
+    "set_kernel_tracer",
+    "trace_kernels",
+]
+
+#: The two clocks a span may be stamped on.
+TRACKS = ("sim", "wall")
+
+
+@dataclass
+class Span:
+    """One traced interval (or instant, when ``start_us == end_us``).
+
+    ``parent_id`` links spans into the request hierarchy (request ->
+    queue / execute -> kernel ...); ``0``/``None`` means a root span.
+    ``lane`` is the exporter's row key -- a worker name, a model name,
+    or a logical lane like ``"admission"`` -- and ``attributes`` carries
+    the structured payload (counters, cache hit/miss, queue depths).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    phase: str
+    start_us: float
+    end_us: float
+    track: str = "sim"
+    lane: str = ""
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def is_event(self) -> bool:
+        """Zero-duration instant (admission decisions, placement swaps)."""
+        return self.end_us == self.start_us
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable record (the JSONL exporter's line shape)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "phase": self.phase,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "track": self.track,
+            "lane": self.lane,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Collecting tracer: append-only span list, monotonically increasing ids.
+
+    Thread-compatible by construction: ``span()`` allocates the id and
+    appends under one lock, so executor-thread compile spans and
+    event-loop serving spans interleave safely (ids stay unique; list
+    order is completion order, not timeline order -- sort by
+    ``start_us`` when order matters).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def span(
+        self,
+        name: str,
+        phase: str,
+        start_us: float,
+        end_us: float,
+        *,
+        parent_id: int | None = None,
+        track: str = "sim",
+        lane: str = "",
+        **attributes: Any,
+    ) -> int:
+        """Record one finished interval; returns its span id.
+
+        Stamps are explicit and retroactive -- the caller already knows
+        when the interval started and ended on its clock.
+        """
+        if end_us < start_us:
+            raise ValueError(
+                f"span {name!r}: end_us {end_us} precedes start_us {start_us}"
+            )
+        if track not in TRACKS:
+            raise ValueError(
+                f"span {name!r}: unknown track {track!r}; one of {TRACKS}"
+            )
+        with self._lock:
+            span = Span(
+                span_id=next(self._ids),
+                parent_id=parent_id,
+                name=name,
+                phase=phase,
+                start_us=start_us,
+                end_us=end_us,
+                track=track,
+                lane=lane,
+                attributes=attributes,
+            )
+            self._spans.append(span)
+        return span.span_id
+
+    def event(
+        self,
+        name: str,
+        phase: str,
+        at_us: float,
+        *,
+        parent_id: int | None = None,
+        track: str = "sim",
+        lane: str = "",
+        **attributes: Any,
+    ) -> int:
+        """Record one zero-duration instant (admission, placement, ...)."""
+        return self.span(
+            name, phase, at_us, at_us,
+            parent_id=parent_id, track=track, lane=lane, **attributes,
+        )
+
+    # ------------------------------------------------------------------
+    # read side (exporters, tests)
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    def spans_in(self, phase: str) -> list[Span]:
+        return [s for s in self.spans if s.phase == phase]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def find(self, span_id: int) -> Span | None:
+        for s in self.spans:
+            if s.span_id == span_id:
+                return s
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullTracer:
+    """The default no-op tracer: every instrumentation site checks
+    ``tracer.enabled`` before building span payloads, so with this
+    installed the hot path does no tracing work at all.  The recording
+    API still exists (returning span id 0 and holding no spans) so
+    un-guarded calls stay harmless rather than crashing."""
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+
+    def span(self, name, phase, start_us, end_us, **kwargs: Any) -> int:
+        return 0
+
+    def event(self, name, phase, at_us, **kwargs: Any) -> int:
+        return 0
+
+    def spans_in(self, phase: str) -> list[Span]:
+        return []
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return []
+
+    def find(self, span_id: int) -> Span | None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op instance; identity-comparable (``tracer is NULL_TRACER``).
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# kernel-boundary hook
+# ----------------------------------------------------------------------
+_kernel_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def kernel_tracer() -> Tracer | NullTracer:
+    """The tracer kernel entry points (apmm/apconv) record into."""
+    return _kernel_tracer
+
+
+def set_kernel_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install the kernel-boundary tracer; returns the previous one."""
+    global _kernel_tracer
+    previous = _kernel_tracer
+    _kernel_tracer = tracer
+    return previous
+
+
+@contextmanager
+def trace_kernels(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scope a kernel-boundary tracer (fresh one when ``None``)."""
+    active = Tracer() if tracer is None else tracer
+    previous = set_kernel_tracer(active)
+    try:
+        yield active
+    finally:
+        set_kernel_tracer(previous)

@@ -41,7 +41,13 @@ latency tables (Tables 2-4) toward serving live traffic:
 """
 
 from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
-from .metrics import ServerMetrics, StageMetrics, WorkerMetrics, percentile
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    ServerMetrics,
+    StageMetrics,
+    WorkerMetrics,
+    percentile,
+)
 from .placement import (
     ModelPlacement,
     Placement,
@@ -102,6 +108,7 @@ __all__ = [
     "ServerMetrics",
     "StageMetrics",
     "WorkerMetrics",
+    "METRICS_SCHEMA_VERSION",
     "percentile",
     "PlacementPolicy",
     "PlacementController",

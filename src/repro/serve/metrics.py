@@ -44,7 +44,20 @@ from ..kernels.autotune import AutotuneCacheStats
 from ..kernels.autotune import cache_stats as autotune_cache_stats
 from .plan_cache import PlanCache
 
-__all__ = ["percentile", "WorkerMetrics", "StageMetrics", "ServerMetrics"]
+__all__ = [
+    "percentile",
+    "WorkerMetrics",
+    "StageMetrics",
+    "ServerMetrics",
+    "METRICS_SCHEMA_VERSION",
+]
+
+#: Version stamped into every :meth:`ServerMetrics.snapshot` so report
+#: tooling can detect shape drift instead of mis-keying silently.  The
+#: unstamped pre-observability shape counts as version 1; version 2
+#: added the stamp itself plus the queue high-water mark.  Bump on any
+#: key addition, removal, or meaning change.
+METRICS_SCHEMA_VERSION = 2
 
 #: Sliding-window length for per-request latency percentiles.
 DEFAULT_LATENCY_WINDOW = 10_000
@@ -325,12 +338,19 @@ class ServerMetrics:
         return dict(sorted(out.items()))
 
     def snapshot(self) -> dict[str, float]:
-        """Scalar lifetime counters, for delta assertions across restarts."""
+        """Scalar lifetime counters, for delta assertions across restarts.
+
+        Includes the admission policy's rejection/deferral totals and a
+        ``schema`` stamp (:data:`METRICS_SCHEMA_VERSION`) so downstream
+        report tooling can detect shape drift before keying into it.
+        """
         return {
+            "schema": METRICS_SCHEMA_VERSION,
             "requests": self.total_requests,
             "batches": self.total_batches,
             "rejected": self.total_rejected,
             "deferred": self.total_deferred,
+            "max_queue_depth": self.max_queue_depth_seen,
             "deadline_misses": self.total_deadline_misses,
             "switched_batches": self.total_switched_batches,
             "cold_compiles": self.cold_compiles,

@@ -48,6 +48,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..nn.module import Module, Sequential
+from ..obs import NULL_TRACER
 
 __all__ = [
     "StagePlan",
@@ -473,6 +474,11 @@ class PlacementController:
                 )
         self.decisions: list[PlacementDecision] = []
         self.observers: list[Callable[[PlacementDecision], None]] = []
+        #: Observability hook (the server installs its tracer here):
+        #: each committed decision becomes an instant event on the
+        #: simulated clock, so rebalances show up as ticks between the
+        #: batches they re-routed.
+        self.tracer = NULL_TRACER
         self.history: list[Placement] = []
         self.evaluations = 0
         self._next_rebalance_us = policy.rebalance_every_us
@@ -492,6 +498,17 @@ class PlacementController:
     # ------------------------------------------------------------------
     def _record(self, decision: PlacementDecision) -> None:
         self.decisions.append(decision)
+        if self.tracer.enabled:
+            self.tracer.event(
+                f"placement:{decision.action}:{decision.model}",
+                "placement", decision.sim_time_us,
+                lane="placement",
+                model=decision.model, action=decision.action,
+                epoch=decision.epoch, workers=list(decision.workers),
+                target_replicas=decision.target_replicas,
+                arrival_rate_rps=decision.arrival_rate_rps,
+                service_rate_rps=decision.service_rate_rps,
+            )
         for observer in self.observers:
             observer(decision)
 

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..nn.engine import APNNBackend, BNNBackend, CompiledPlan, InferenceEngine
+from ..obs import NULL_TRACER
 from ..perf.calibration import Calibration
 
 __all__ = [
@@ -262,6 +263,10 @@ class PlanCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.store = store
+        #: Observability hook (the server installs its tracer here).
+        #: Compiles are wall-clock work on executor threads, so they
+        #: trace as wall-track spans, never simulated time.
+        self.tracer = NULL_TRACER
         self._plans: OrderedDict[PlanKey, tuple[CompiledPlan, float]] = (
             OrderedDict()
         )
@@ -362,6 +367,22 @@ class PlanCache:
         entry = self._plans.get(self.key_for(engine, batch, input_shape))
         return None if entry is None else entry[1]
 
+    def peek_plan(
+        self,
+        engine: InferenceEngine,
+        batch: int,
+        input_shape: tuple[int, ...] = (3, 224, 224),
+    ) -> CompiledPlan | None:
+        """The compiled plan if (and only if) the key is already warm.
+
+        Same pure-read contract as :meth:`peek_total_us`: no compile, no
+        LRU reorder, no counter churn.  The tracing layer reads warm
+        plans through here so a traced run's cache statistics stay
+        byte-identical to an untraced one.
+        """
+        entry = self._plans.get(self.key_for(engine, batch, input_shape))
+        return None if entry is None else entry[0]
+
     def _lookup(self, engine, batch, input_shape):
         key = self.key_for(engine, batch, input_shape)
         entry = self._plans.get(key)
@@ -388,12 +409,23 @@ class PlanCache:
         t0 = time.perf_counter()
         plan = engine.compile(batch, tuple(input_shape))
         total = plan.price(engine.latency_model).total_us
-        elapsed_us = (time.perf_counter() - t0) * 1e6
+        t1 = time.perf_counter()
+        elapsed_us = (t1 - t0) * 1e6
         with self._timing_lock:
             self._compiles += 1
             if inloop:
                 self._inloop_compiles += 1
             self._compile_us += elapsed_us
+        if self.tracer.enabled:
+            # Tracer appends are thread-safe; executor compiles land as
+            # they finish on the wall-clock track.
+            self.tracer.span(
+                f"plan-compile:{key.model}", "compile",
+                t0 * 1e6, t1 * 1e6,
+                track="wall", lane="plan-compile",
+                model=key.model, backend=key.backend, batch=batch,
+                in_loop=inloop, priced_total_us=total,
+            )
         return plan, total
 
     def _insert(self, key, plan, total, persist=True):

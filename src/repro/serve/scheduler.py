@@ -93,6 +93,25 @@ class QueueDiscipline(ABC):
         ``model`` names.
         """
 
+    def trace_attributes(
+        self, queues: Sequence[QueueSnapshot], chosen: str
+    ) -> dict:
+        """Span attributes explaining one scheduling decision.
+
+        Called by the server only when tracing is enabled, right after
+        :meth:`select`, and attached to the dispatched batch's span --
+        so a timeline viewer can answer "why this model?" at every
+        dispatch.  Subclasses may extend the dict with policy-specific
+        signals (deadlines, virtual time); the base payload is the
+        discipline name, the chosen model, and the visible backlog.
+        """
+        return {
+            "discipline": self.name,
+            "chosen": chosen,
+            "candidates": len(queues),
+            "queue_depths": {q.model: q.depth for q in queues},
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 
@@ -130,6 +149,15 @@ class EDFDiscipline(QueueDiscipline):
         )
         return best.model
 
+    def trace_attributes(
+        self, queues: Sequence[QueueSnapshot], chosen: str
+    ) -> dict:
+        attrs = super().trace_attributes(queues, chosen)
+        attrs["head_deadlines_us"] = {
+            q.model: q.head_deadline_us for q in queues
+        }
+        return attrs
+
 
 class WFQDiscipline(QueueDiscipline):
     """Weighted fair queueing: least normalized service goes first.
@@ -150,6 +178,15 @@ class WFQDiscipline(QueueDiscipline):
             ),
         )
         return best.model
+
+    def trace_attributes(
+        self, queues: Sequence[QueueSnapshot], chosen: str
+    ) -> dict:
+        attrs = super().trace_attributes(queues, chosen)
+        attrs["normalized_service"] = {
+            q.model: q.normalized_service for q in queues
+        }
+        return attrs
 
 
 DISCIPLINES: dict[str, type[QueueDiscipline]] = {

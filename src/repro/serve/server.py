@@ -71,7 +71,9 @@ from typing import Mapping, Sequence
 from ..core.types import PrecisionPair
 from ..nn.engine import APNNBackend, InferenceEngine
 from ..nn.module import Sequential
+from ..obs import NULL_TRACER, Tracer
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..tensorcore.counters import ExecutionCounters
 from ..tensorcore.device import DeviceSpec
 from .batcher import DEFAULT_CANDIDATE_BATCHES, DynamicBatcher
 from .metrics import ServerMetrics
@@ -186,6 +188,14 @@ class _StageJob:
     pair_name: str
     ready_us: float  #: simulated instant the previous stage finished
     start_us: float  #: stage-0 service start (the requests' start)
+    #: Tracing context (populated only when the server's tracer is
+    #: enabled): the scheduling decision captured at dispatch, whether
+    #: the dispatch went through the cold-compile path, and each served
+    #: stage's (start_us, finish_us) -- the final stage emits the whole
+    #: batch/stage/kernel hierarchy retroactively from these.
+    sched_attrs: dict | None = None
+    cold: bool = False
+    stage_bounds: list[tuple[float, float]] = field(default_factory=list)
 
 
 class InferenceServer:
@@ -233,6 +243,18 @@ class InferenceServer:
     compile_workers:
         Size of the thread executor cold plan compilations run in
         (both the worker loops' off-loop compiles and ``prewarm``).
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When given, the server
+        records hierarchical spans on the simulated clock -- admission
+        events, batch/stage dispatches with per-fused-group kernel
+        child spans (carrying :class:`~repro.tensorcore.counters
+        .ExecutionCounters` attributes), per-request request/queue/
+        execute spans, placement swaps -- plus wall-clock plan-compile
+        spans, and installs itself into the plan cache and placement
+        controller.  The default is the shared no-op tracer: every
+        instrumentation site is guarded by ``tracer.enabled``, so an
+        untraced server does no tracing work and behaves byte-
+        identically to one built before tracing existed.
     """
 
     def __init__(
@@ -251,6 +273,7 @@ class InferenceServer:
         calibration: Calibration = DEFAULT_CALIBRATION,
         cache_dir: str | Path | None = None,
         compile_workers: int = 2,
+        tracer: Tracer | None = None,
     ) -> None:
         if not models:
             raise ValueError("server needs at least one model")
@@ -280,6 +303,12 @@ class InferenceServer:
             self.plan_cache = PlanCache()
         self.compile_workers = compile_workers
         self._executor: ThreadPoolExecutor | None = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # Compiles trace as wall-track spans from executor threads;
+            # placement decisions as sim-track instants.  Both hooks
+            # default to the null tracer, so only a traced server pays.
+            self.plan_cache.tracer = self.tracer
         self.metrics = ServerMetrics()
         self.discipline = make_discipline(discipline)
         self.admission = admission
@@ -304,6 +333,8 @@ class InferenceServer:
             self.placement_controller = PlacementController(
                 placement, self.models, [n for n, _, _ in self._worker_specs]
             )
+            if self.tracer.enabled:
+                self.placement_controller.tracer = self.tracer
             self.metrics.replica_counts = (
                 self.placement_controller.placement.replica_counts()
             )
@@ -384,14 +415,20 @@ class InferenceServer:
                     # shed before touching the clock: a rejected request
                     # must not skew later default-arrival stamps
                     self.metrics.record_rejection(model)
+                    if self.tracer.enabled:
+                        self._trace_admission(req, "shed")
                     raise AdmissionRejected(
                         model, self.queue_depth, self.admission.max_queue_depth
                     )
                 self.metrics.record_deferral(model)
                 self._deferred.append(req)
+                if self.tracer.enabled:
+                    self._trace_admission(req, "deferred")
             else:
                 self._enqueue(req)
                 self.metrics.record_queue_depth(self.queue_depth)
+                if self.tracer.enabled:
+                    self._trace_admission(req, "admitted")
             self._sim_now_us = max(self._sim_now_us, req.arrival_us)
             cond.notify_all()
         return await req.future
@@ -837,6 +874,12 @@ class InferenceServer:
                 now_us = max(sim_free_at_us, earliest)
                 snapshots, depths = self._visible_snapshots(now_us, name)
                 model = self.discipline.select(tuple(snapshots))
+                # Captured at selection time (the snapshots die with the
+                # lock); attached to the batch span at dispatch.
+                sched_attrs = (
+                    self.discipline.trace_attributes(snapshots, model)
+                    if self.tracer.enabled else None
+                )
                 queue = self._queues[model]
                 depth = depths[model]
                 visible_total = sum(depths.values())
@@ -970,10 +1013,17 @@ class InferenceServer:
                 # sum(compiled): only keys *this* worker actually
                 # compiled -- coalesced waits on another worker's
                 # in-flight compile must not double-count.
-                self.metrics.record_cold_compile(
-                    sum(compiled),
-                    (time.perf_counter() - stall_t0) * 1e6,
-                )
+                stall_us = (time.perf_counter() - stall_t0) * 1e6
+                self.metrics.record_cold_compile(sum(compiled), stall_us)
+                if self.tracer.enabled:
+                    # The compiles themselves are wall-track spans from
+                    # the plan cache; this sim-track instant marks which
+                    # dispatch absorbed the stall.
+                    self.tracer.event(
+                        f"cold-dispatch:{model}", "compile", now_us,
+                        lane=name, model=model, worker=name,
+                        plans=sum(compiled), stall_wall_us=stall_us,
+                    )
                 async with cond:
                     # Decide with the depth captured at selection time:
                     # the old in-lock compile saw exactly this backlog,
@@ -1041,6 +1091,8 @@ class InferenceServer:
                     pair_name=pair.name if pair is not None else "",
                     ready_us=now_us,
                     start_us=now_us,
+                    sched_attrs=sched_attrs,
+                    cold=bool(cold_specs),
                 )
                 sim_free_at_us = await self._run_stage(
                     name, job, sim_free_at_us
@@ -1090,6 +1142,17 @@ class InferenceServer:
                 switched=switched,
                 accuracy_delta=batch_accuracy_delta,
             )
+            if self.tracer.enabled:
+                self._trace_batch(
+                    name, model, engine, self.models[model].input_shape,
+                    decision.batch_size, decision.expected_latency_us,
+                    decision.meets_slo, results, depth,
+                    start_us, finish_us,
+                    pair_name=pair.name if pair is not None else "",
+                    switched=switched,
+                    plan_cache_hit=not cold_specs,
+                    sched_attrs=sched_attrs,
+                )
             for r, res in zip(batch, results):
                 if not r.future.done():
                     r.future.set_result(res)
@@ -1105,6 +1168,172 @@ class InferenceServer:
         return lambda batch: sum(
             self.plan_cache.total_us(e, batch, s) for e, s in pricing
         )
+
+    # ------------------------------------------------------------------
+    # tracing (every caller guards with ``self.tracer.enabled``)
+    # ------------------------------------------------------------------
+    def _trace_admission(self, req: _PendingRequest, outcome: str) -> None:
+        """Instant event for one admission decision, at the arrival stamp."""
+        self.tracer.event(
+            f"admission:{outcome}", "admission", req.arrival_us,
+            lane="admission",
+            model=req.model, request_id=req.request_id, outcome=outcome,
+            queue_depth=self.queue_depth, deferred_depth=self.deferred_depth,
+        )
+
+    def _trace_batch(
+        self,
+        worker: str,
+        model: str,
+        engine: InferenceEngine,
+        input_shape: tuple[int, ...],
+        batch_size: int,
+        expected_latency_us: float,
+        meets_slo: bool,
+        results: list[RequestResult],
+        depth: int,
+        start_us: float,
+        finish_us: float,
+        *,
+        pair_name: str,
+        switched: bool,
+        plan_cache_hit: bool,
+        sched_attrs: dict | None,
+    ) -> int:
+        """One dispatched batch: batch span + kernel children + requests."""
+        attrs = {
+            "model": model, "worker": worker,
+            "batch_size": batch_size, "requests": len(results),
+            "queue_depth": depth,
+            "expected_latency_us": expected_latency_us,
+            "meets_slo": meets_slo,
+            "pair": pair_name, "switched": switched,
+            "plan_cache_hit": plan_cache_hit,
+        }
+        if sched_attrs:
+            attrs.update(sched_attrs)
+        batch_id = self.tracer.span(
+            f"batch:{model}", "batch", start_us, finish_us,
+            lane=worker, **attrs,
+        )
+        self._trace_kernels(
+            batch_id, worker, engine, batch_size, input_shape, start_us
+        )
+        self._trace_requests(batch_id, worker, results)
+        return batch_id
+
+    def _trace_kernels(
+        self,
+        parent_id: int,
+        lane: str,
+        engine: InferenceEngine,
+        batch_size: int,
+        input_shape: tuple[int, ...],
+        start_us: float,
+    ) -> None:
+        """Per-fused-group kernel child spans under one batch/stage span.
+
+        The plan is read through :meth:`PlanCache.peek_plan` (pure read:
+        no hit/miss churn, no LRU reorder -- a traced run's cache stats
+        stay byte-identical to an untraced one) and priced with the
+        engine's own latency model, so the children tile the parent
+        exactly: group latencies sum to the plan total the dispatch was
+        priced with.  Each child carries the group's merged
+        :class:`ExecutionCounters` as attributes -- the counter-to-phase
+        attribution at the kernel boundary.
+        """
+        plan = self.plan_cache.peek_plan(engine, batch_size, input_shape)
+        if plan is None:
+            return  # evicted since dispatch: keep the parent span only
+        latency_model = engine.latency_model
+        t = start_us
+        for group in plan.groups:
+            duration_us = sum(
+                latency_model.latency_us(c) for c in group.costs
+            )
+            counters = ExecutionCounters()
+            for c in group.costs:
+                counters.merge(c.counters)
+            self.tracer.span(
+                f"kernel:{group.name}", "kernel", t, t + duration_us,
+                parent_id=parent_id, lane=lane,
+                kind=group.kind, kernels=len(group.costs),
+                **counters.as_dict(),
+            )
+            t += duration_us
+
+    def _trace_requests(
+        self, batch_id: int, worker: str, results: list[RequestResult]
+    ) -> None:
+        """Request spans: arrival -> finish, with queue/execute children.
+
+        The two children partition the request exactly -- queue wait
+        (arrival to batch start) plus execution (batch start to finish)
+        is the whole simulated latency, which is what lets the coverage
+        test demand >= 95% attribution for every request.
+        """
+        for res in results:
+            req_span = self.tracer.span(
+                f"request:{res.request_id}", "request",
+                res.arrival_us, res.finish_us, lane=res.model,
+                request_id=res.request_id, model=res.model,
+                worker=worker, batch_span=batch_id,
+            )
+            self.tracer.span(
+                "queue", "queue", res.arrival_us, res.start_us,
+                parent_id=req_span, lane=res.model,
+            )
+            self.tracer.span(
+                "execute", "dispatch", res.start_us, res.finish_us,
+                parent_id=req_span, lane=res.model, batch_span=batch_id,
+            )
+
+    def _trace_pipeline(
+        self,
+        worker: str,
+        job: _StageJob,
+        results: list[RequestResult],
+        finish_us: float,
+    ) -> None:
+        """Retroactive span hierarchy for one fully resolved pipeline batch.
+
+        Emitted by the final stage from the bounds each stage recorded
+        as it ran: batch span (stage-0 start to last-stage finish) ->
+        per-stage children on their own worker lanes -> per-stage kernel
+        grandchildren, plus the request spans.
+        """
+        attrs = {
+            "model": job.model, "worker": worker,
+            "batch_size": job.batch_size, "requests": len(results),
+            "queue_depth": job.depth,
+            "expected_latency_us": job.expected_latency_us,
+            "meets_slo": job.meets_slo,
+            "pair": job.pair_name, "switched": False,
+            "plan_cache_hit": not job.cold,
+            "pipeline": True,
+            "stages": [s.worker for s in job.stages],
+        }
+        if job.sched_attrs:
+            attrs.update(job.sched_attrs)
+        batch_id = self.tracer.span(
+            f"batch:{job.model}", "batch", job.start_us, finish_us,
+            lane=worker, **attrs,
+        )
+        for stage, (s0, s1) in zip(job.stages, job.stage_bounds):
+            engine = self._stage_engines[
+                (job.model, stage.index, stage.worker)
+            ]
+            stage_span = self.tracer.span(
+                f"stage:{job.model}[{stage.index}]", "stage", s0, s1,
+                parent_id=batch_id, lane=stage.worker,
+                model=job.model, stage=stage.index,
+                batch_size=job.batch_size, requests=len(results),
+            )
+            self._trace_kernels(
+                stage_span, stage.worker, engine,
+                job.batch_size, stage.input_shape, s0,
+            )
+        self._trace_requests(batch_id, worker, results)
 
     async def _run_stage(
         self, name: str, job: _StageJob, sim_free_at_us: float
@@ -1156,6 +1385,8 @@ class InferenceServer:
         self.metrics.record_stage(
             job.model, job.stage_idx, name, service_us, len(job.requests)
         )
+        if self.tracer.enabled:
+            job.stage_bounds.append((start_us, finish_us))
 
         if job.stage_idx + 1 < len(job.stages):
             next_worker = job.stages[job.stage_idx + 1].worker
@@ -1197,6 +1428,8 @@ class InferenceServer:
             meets_slo=job.meets_slo,
             deadline_misses=sum(not res.met_deadline for res in results),
         )
+        if self.tracer.enabled:
+            self._trace_pipeline(name, job, results, finish_us)
         async with self._cond:
             self._pipeline_inflight -= 1
             self._cond.notify_all()

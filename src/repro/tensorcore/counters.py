@@ -70,6 +70,40 @@ class ExecutionCounters:
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """Field-name -> tally mapping, in declaration order.
+
+        The one serialization shape for counters everywhere: plan
+        records, span attributes, and test assertions all go through
+        here instead of poking dataclass fields ad hoc.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta(self, baseline: "ExecutionCounters") -> "ExecutionCounters":
+        """Work done since ``baseline`` (counter-wise ``self - baseline``).
+
+        The inverse of :meth:`merge` for accumulating counters; the
+        non-additive ``frag_bytes_peak`` high-water mark has no
+        meaningful difference, so the delta keeps ``self``'s peak.
+        Raises ``ValueError`` when ``baseline`` is ahead of ``self`` on
+        any additive counter (a delta of negative work is always a
+        caller bug, not a measurement).
+        """
+        out = ExecutionCounters()
+        for f in fields(self):
+            if f.name == "frag_bytes_peak":
+                out.frag_bytes_peak = self.frag_bytes_peak
+                continue
+            diff = getattr(self, f.name) - getattr(baseline, f.name)
+            if diff < 0:
+                raise ValueError(
+                    f"counter {f.name} went backwards: baseline "
+                    f"{getattr(baseline, f.name)} > current "
+                    f"{getattr(self, f.name)}"
+                )
+            setattr(out, f.name, diff)
+        return out
+
     @property
     def global_bytes(self) -> int:
         """Total DRAM traffic."""

@@ -1,0 +1,116 @@
+"""Exporter tests: JSONL round trip + Chrome-trace structure."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACK_PIDS,
+    Tracer,
+    chrome_trace,
+    read_jsonl,
+    to_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def make_tracer() -> Tracer:
+    t = Tracer()
+    req = t.span("request:1", "request", 0.0, 100.0, lane="alexnet",
+                 request_id=1, model="alexnet")
+    t.span("queue", "queue", 0.0, 40.0, parent_id=req, lane="alexnet")
+    t.span("execute", "dispatch", 40.0, 100.0, parent_id=req, lane="alexnet")
+    t.event("admission:alexnet", "admission", 0.0, lane="admission",
+            outcome="admitted")
+    t.span("plan-compile:alexnet", "compile", 10.0, 5000.0, track="wall",
+           lane="plan-compile", batch=8)
+    return t
+
+
+def test_jsonl_round_trips_losslessly(tmp_path):
+    t = make_tracer()
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(t, path) == 5
+    assert read_jsonl(path) == t.spans
+
+
+def test_jsonl_lines_are_valid_sorted_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(make_tracer(), path)
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert list(record) == sorted(record)
+
+
+def test_to_spans_accepts_tracer_or_iterable():
+    t = make_tracer()
+    assert to_spans(t) == t.spans
+    assert to_spans(list(t.spans)) == t.spans
+    assert to_spans(()) == ()
+
+
+def test_chrome_trace_separates_tracks_by_pid():
+    trace = chrome_trace(make_tracer())
+    validate_chrome_trace(trace)
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    sim_pids = {e["pid"] for e in xs if e["cat"] != "compile"}
+    wall_pids = {e["pid"] for e in xs if e["cat"] == "compile"}
+    assert sim_pids == {TRACK_PIDS["sim"]}
+    assert wall_pids == {TRACK_PIDS["wall"]}
+
+
+def test_chrome_trace_names_every_lane():
+    trace = chrome_trace(make_tracer())
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    process_names = {e["args"]["name"] for e in meta
+                     if e["name"] == "process_name"}
+    thread_names = {e["args"]["name"] for e in meta
+                    if e["name"] == "thread_name"}
+    assert len(process_names) == 2  # one per clock
+    assert {"alexnet", "admission", "plan-compile"} <= thread_names
+
+
+def test_chrome_trace_instant_events_for_zero_duration():
+    trace = chrome_trace(make_tracer())
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    (ev,) = instants
+    assert ev["name"] == "admission:alexnet"
+    assert ev["s"] == "t"
+    assert "dur" not in ev
+
+
+def test_chrome_trace_args_carry_span_identity_and_attributes():
+    t = make_tracer()
+    trace = chrome_trace(t)
+    by_name = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    req = by_name["request:1"]
+    assert req["args"]["span_id"] == 1
+    assert req["args"]["model"] == "alexnet"
+    assert by_name["queue"]["args"]["parent_id"] == 1
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    path = write_chrome_trace(make_tracer(), tmp_path / "trace.json")
+    validate_chrome_trace(json.loads(path.read_text()))
+
+
+def test_validate_rejects_structural_violations():
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome_trace({})
+    with pytest.raises(ValueError, match="phase"):
+        validate_chrome_trace({"traceEvents": [{"ph": "B"}]})
+    with pytest.raises(ValueError, match="unnamed lane"):
+        validate_chrome_trace({"traceEvents": [{
+            "ph": "X", "name": "x", "cat": "batch", "pid": 9, "tid": 9,
+            "ts": 0.0, "dur": 1.0, "args": {},
+        }]})
+    with pytest.raises(ValueError, match="negative"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+             "args": {"name": "w"}},
+            {"ph": "X", "name": "x", "cat": "batch", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": -1.0, "args": {}},
+        ]})

@@ -1,0 +1,142 @@
+"""Span/Tracer lifecycle unit tests (repro.obs.tracer)."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    kernel_tracer,
+    set_kernel_tracer,
+    trace_kernels,
+)
+
+
+def test_span_ids_are_unique_and_parented():
+    t = Tracer()
+    root = t.span("request:1", "request", 0.0, 100.0)
+    child = t.span("queue", "queue", 0.0, 40.0, parent_id=root)
+    other = t.span("execute", "dispatch", 40.0, 100.0, parent_id=root)
+    assert len({root, child, other}) == 3
+    assert [s.span_id for s in t.children_of(root)] == [child, other]
+    assert t.find(child).parent_id == root
+    assert t.find(root).parent_id is None
+
+
+def test_span_validates_bounds_and_track():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        t.span("bad", "batch", 10.0, 5.0)
+    with pytest.raises(ValueError):
+        t.span("bad", "batch", 0.0, 1.0, track="gpu")
+    assert len(t) == 0
+
+
+def test_event_is_zero_duration_instant():
+    t = Tracer()
+    sid = t.event("placement:replicate:m", "placement", 123.0, model="m")
+    span = t.find(sid)
+    assert span.is_event
+    assert span.duration_us == 0.0
+    assert span.start_us == span.end_us == 123.0
+    assert span.attributes["model"] == "m"
+
+
+def test_spans_in_filters_by_phase():
+    t = Tracer()
+    t.span("batch:m", "batch", 0.0, 10.0)
+    t.span("kernel:g", "kernel", 0.0, 5.0)
+    t.span("kernel:h", "kernel", 5.0, 10.0)
+    assert [s.name for s in t.spans_in("kernel")] == ["kernel:g", "kernel:h"]
+    assert [s.name for s in t.spans_in("batch")] == ["batch:m"]
+    assert t.spans_in("request") == []
+
+
+def test_clear_resets_spans_but_not_identity():
+    t = Tracer()
+    t.span("a", "batch", 0.0, 1.0)
+    t.clear()
+    assert len(t) == 0
+    # ids keep advancing after clear: no span_id is ever reused
+    assert t.span("b", "batch", 0.0, 1.0) > 1
+
+
+def test_to_dict_round_trips_through_span():
+    t = Tracer()
+    sid = t.span("batch:m", "batch", 1.0, 9.0, lane="w0", model="m", n=3)
+    d = t.find(sid).to_dict()
+    clone = Span(**d)
+    assert clone == t.find(sid)
+    assert d["attributes"] == {"model": "m", "n": 3}
+
+
+def test_null_tracer_is_disabled_and_inert():
+    n = NullTracer()
+    assert not n.enabled
+    assert n.span("x", "batch", 0.0, 1.0) == 0
+    assert n.event("x", "batch", 0.0) == 0
+    assert n.spans == ()
+    assert n.spans_in("batch") == []
+    assert n.children_of(1) == []
+    assert n.find(1) is None
+    assert len(n) == 0
+    assert not NULL_TRACER.enabled
+
+
+def test_kernel_tracer_hook_defaults_to_null():
+    assert kernel_tracer() is NULL_TRACER
+
+
+def test_trace_kernels_installs_and_restores():
+    t = Tracer()
+    with trace_kernels(t) as active:
+        assert active is t
+        assert kernel_tracer() is t
+    assert kernel_tracer() is NULL_TRACER
+
+
+def test_trace_kernels_makes_a_tracer_when_not_given_one():
+    with trace_kernels() as active:
+        assert isinstance(active, Tracer)
+        assert kernel_tracer() is active
+    assert kernel_tracer() is NULL_TRACER
+
+
+def test_trace_kernels_restores_on_error():
+    t = Tracer()
+    with pytest.raises(RuntimeError):
+        with trace_kernels(t):
+            raise RuntimeError("boom")
+    assert kernel_tracer() is NULL_TRACER
+
+
+def test_set_kernel_tracer_returns_previous():
+    t = Tracer()
+    prev = set_kernel_tracer(t)
+    try:
+        assert prev is NULL_TRACER
+        assert kernel_tracer() is t
+    finally:
+        set_kernel_tracer(prev)
+    assert kernel_tracer() is NULL_TRACER
+
+
+def test_tracer_is_thread_safe():
+    t = Tracer()
+    n_threads, per_thread = 8, 200
+
+    def emit(i):
+        for j in range(per_thread):
+            t.span(f"t{i}:{j}", "kernel", float(j), float(j + 1))
+
+    threads = [threading.Thread(target=emit, args=(i,)) for i in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert len(t) == n_threads * per_thread
+    ids = [s.span_id for s in t.spans]
+    assert len(set(ids)) == len(ids)

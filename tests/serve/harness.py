@@ -30,6 +30,9 @@ yields).  This harness packages the boilerplate:
   stall) or in an executor, so cold-start tests can assert *zero*
   compiles after a persisted restart and single-flight dedup under
   racing workers;
+* :class:`RecordingTracer` is a real :class:`repro.obs.Tracer` with
+  span-slicing helpers (by prefix/phase, parent coverage, nesting
+  assertions) for the end-to-end tracing tests;
 * model construction is memoized per test session -- planning state
   lives in engines, so tests can share the network objects freely.
 
@@ -48,6 +51,7 @@ from dataclasses import dataclass, field
 from repro.core import PrecisionPair
 from repro.nn import APNNBackend, alexnet, resnet18
 from repro.nn.module import Sequential
+from repro.obs import Span, Tracer
 from repro.serve import (
     InferenceServer,
     PlacementDecision,
@@ -281,6 +285,52 @@ class RecordingPlanCache(PlanCache):
     def compiled_keys(self) -> list[tuple[str, str, int]]:
         """(model, backend, batch) per compile, for dedup assertions."""
         return [(c.model, c.backend, c.batch) for c in self.compile_calls]
+
+
+class RecordingTracer(Tracer):
+    """A real :class:`~repro.obs.Tracer` plus serving-test helpers.
+
+    Pass it to ``make_server(tracer=...)`` / ``make_cluster(tracer=...)``
+    and read spans back after :func:`run_trace`.  The helpers slice the
+    flat span list the way the tracing tests assert on it: by name
+    prefix, by phase, and as parent->children coverage fractions.
+    """
+
+    def named(self, prefix: str) -> list[Span]:
+        return [s for s in self.spans if s.name.startswith(prefix)]
+
+    def request_spans(self) -> list[Span]:
+        return self.spans_in("request")
+
+    def batch_spans(self) -> list[Span]:
+        return self.spans_in("batch")
+
+    def kernel_spans(self) -> list[Span]:
+        return self.spans_in("kernel")
+
+    def coverage(self, span: Span) -> float:
+        """Fraction of ``span``'s duration covered by its direct children.
+
+        Children never overlap in the serving hierarchy (queue then
+        execute; kernels tile their batch), so a straight sum is exact.
+        """
+        if span.duration_us <= 0.0:
+            return 1.0
+        covered = sum(c.duration_us for c in self.children_of(span.span_id))
+        return covered / span.duration_us
+
+    def assert_nested(self) -> None:
+        """Every child span must lie within its parent's bounds."""
+        for child in self.spans:
+            if child.parent_id is None:
+                continue
+            parent = self.find(child.parent_id)
+            assert parent is not None, f"dangling parent for {child.name}"
+            assert parent.track == child.track, (child.name, parent.name)
+            assert parent.start_us <= child.start_us + 1e-6, (
+                child.name, parent.name)
+            assert child.end_us <= parent.end_us + 1e-6, (
+                child.name, parent.name)
 
 
 @dataclass

@@ -1,0 +1,68 @@
+"""ExecutionCounters helper tests (as_dict / delta)."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.tensorcore.counters import ExecutionCounters
+
+
+def sample(scale: int = 1) -> ExecutionCounters:
+    return ExecutionCounters(
+        bmma_calls=4 * scale,
+        tc_macs=4096 * scale,
+        cuda_ops=128 * scale,
+        global_bytes_read=512 * scale,
+        global_bytes_written=256 * scale,
+        smem_bytes_read=1024 * scale,
+        smem_bytes_written=1024 * scale,
+        frag_bytes_peak=64,
+        blocks=2 * scale,
+        kernel_launches=scale,
+    )
+
+
+def test_as_dict_covers_every_field_in_order():
+    c = sample()
+    d = c.as_dict()
+    assert list(d) == [f.name for f in fields(ExecutionCounters)]
+    assert all(d[f.name] == getattr(c, f.name) for f in fields(c))
+    assert ExecutionCounters(**d) == c
+
+
+def test_as_dict_is_a_snapshot_not_a_view():
+    c = sample()
+    d = c.as_dict()
+    c.bmma_calls += 1
+    assert d["bmma_calls"] == 4
+
+
+def test_delta_inverts_merge_on_additive_counters():
+    before = sample(1)
+    total = before.copy().merge(sample(2))
+    d = total.delta(before)
+    for f in fields(ExecutionCounters):
+        if f.name == "frag_bytes_peak":
+            continue
+        assert getattr(d, f.name) == getattr(sample(2), f.name), f.name
+
+
+def test_delta_keeps_current_peak():
+    before = ExecutionCounters(frag_bytes_peak=64)
+    now = ExecutionCounters(frag_bytes_peak=256)
+    assert now.delta(before).frag_bytes_peak == 256
+
+
+def test_delta_of_self_is_zero_work():
+    c = sample()
+    d = c.delta(c)
+    assert all(
+        getattr(d, f.name) == 0
+        for f in fields(d) if f.name != "frag_bytes_peak"
+    )
+    d.validate()
+
+
+def test_delta_rejects_backwards_counters():
+    with pytest.raises(ValueError, match="bmma_calls went backwards"):
+        sample(1).delta(sample(2))
