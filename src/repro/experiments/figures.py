@@ -58,6 +58,7 @@ __all__ = [
     "placement_trace",
     "placement_policy",
     "placement_study",
+    "fault_tolerance_study",
 ]
 
 GEMM_SIZES = tuple(range(128, 1025, 128))
@@ -948,6 +949,171 @@ def placement_study():
     if rows[3]["stage_batches"] == 0:
         raise RuntimeError(
             "sharded row served no pipeline stages"
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# fault-tolerance study (multi-process cluster failure handling)
+# ----------------------------------------------------------------------
+FAULT_SEED = 3
+FAULT_NUM_REQUESTS = 24
+FAULT_RATE_RPS = 120_000.0
+FAULT_MODELS = ("hot-0", "hot-1", "cold-0")
+FAULT_WORKERS = 2
+#: A simulated instant inside the trace's busy window, so the scripted
+#: crash lands with a batch in flight and the lost work must fail over.
+FAULT_CRASH_US = 50.0
+FAULT_SLOW_FACTOR = 50.0
+
+
+def fault_tolerance_study():
+    """Failure handling of the multi-process cluster, one scenario per row.
+
+    Replays one dense Poisson trace against a two-worker
+    :class:`~repro.serve.cluster.ClusterCoordinator` under scripted
+    :class:`~repro.serve.cluster.FaultPlan` schedules -- fault-free,
+    mid-batch crash (with and without a restart budget), a 50x slow
+    replica, and a torn plan-store line -- all on the simulated clock,
+    so every row replays bit-identically.
+
+    Self-checking: every scenario must serve every request exactly once
+    with zero drops, zero reorders, and a payload set byte-identical to
+    the fault-free run (failover may move work, never change results);
+    the study raises otherwise, which is what the CI faults job relies
+    on.
+    """
+    import asyncio
+    import tempfile
+
+    from ..serve import (
+        ClusterCoordinator,
+        ClusterPolicy,
+        FaultPlan,
+        ModelSpec,
+        percentile,
+        replay,
+    )
+    from ..serve.trace import poisson_trace
+
+    models = {
+        name: ModelSpec(
+            kind="micro", name=name, seed=seed,
+            input_shape=PLACEMENT_INPUT_SHAPE,
+        )
+        for seed, name in enumerate(FAULT_MODELS)
+    }
+    trace = poisson_trace(
+        models=list(models),
+        num_requests=FAULT_NUM_REQUESTS,
+        rate_rps=FAULT_RATE_RPS,
+        seed=FAULT_SEED,
+    )
+
+    def run(scheme, faults=None, policy=None, cache_dir=None):
+        cluster = ClusterCoordinator(
+            models,
+            FAULT_WORKERS,
+            faults=faults,
+            policy=(
+                policy if policy is not None
+                else ClusterPolicy(restart_delay_us=500.0)
+            ),
+            candidate_batches=PLACEMENT_BATCHES,
+            cache_dir=cache_dir,
+        )
+
+        async def go():
+            await cluster.start()
+            results = await replay(cluster, trace)
+            await cluster.stop()
+            return results
+
+        results = asyncio.run(go())
+        m = cluster.metrics
+        row = {
+            "scheme": scheme,
+            "served": len(results),
+            "p95_ms": percentile(
+                [r.latency_us for r in results], 95
+            ) / 1e3,
+            "makespan_ms": cluster.sim_duration_us / 1e3,
+            "crashes": m.total_worker_crashes,
+            "restarts": m.total_worker_restarts,
+            "failovers": m.failovers,
+            "retries": m.retries,
+            "recovered": m.store_recovered_lines,
+            "dropped": m.dropped_requests,
+            "reordered": m.reordered_dispatches,
+        }
+        return row, sorted(r.payload for r in results)
+
+    rows = []
+    payload_sets = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for scheme, faults, policy, cache_dir in (
+            ("fault-free", None, None, None),
+            (
+                "mid-batch-crash",
+                FaultPlan.of(FaultPlan.crash("worker-0", FAULT_CRASH_US)),
+                None,
+                None,
+            ),
+            (
+                "crash-no-restart",
+                FaultPlan.of(FaultPlan.crash("worker-0", FAULT_CRASH_US)),
+                ClusterPolicy(restart_crashed=False),
+                None,
+            ),
+            (
+                "slow-replica",
+                FaultPlan.of(
+                    FaultPlan.slow(
+                        "worker-0", 0.0, factor=FAULT_SLOW_FACTOR
+                    )
+                ),
+                None,
+                None,
+            ),
+            (
+                "store-corruption",
+                FaultPlan.of(FaultPlan.corrupt_store(FAULT_CRASH_US)),
+                None,
+                tmp,
+            ),
+        ):
+            row, payloads = run(
+                scheme, faults=faults, policy=policy, cache_dir=cache_dir
+            )
+            rows.append(row)
+            payload_sets[scheme] = payloads
+
+    baseline = payload_sets["fault-free"]
+    for row in rows:
+        if row["dropped"] or row["reordered"]:
+            raise RuntimeError(
+                f"fault-tolerance invariant violated (dropped/reordered "
+                f"requests): {row}"
+            )
+        if row["served"] != FAULT_NUM_REQUESTS:
+            raise RuntimeError(f"{row['scheme']} lost requests: {row}")
+        if payload_sets[row["scheme"]] != baseline:
+            raise RuntimeError(
+                f"{row['scheme']} changed result bytes vs the fault-free "
+                f"run -- failover must never alter results"
+            )
+    if rows[1]["crashes"] != 1 or rows[1]["restarts"] != 1:
+        raise RuntimeError(
+            f"mid-batch-crash row did not crash and restart: {rows[1]}"
+        )
+    if rows[1]["failovers"] < 1:
+        raise RuntimeError(
+            f"mid-batch-crash row never failed over: {rows[1]}"
+        )
+    if rows[4]["recovered"] != 1:
+        raise RuntimeError(
+            f"store-corruption row recovered {rows[4]['recovered']} "
+            f"lines, expected exactly 1"
         )
     return rows
 

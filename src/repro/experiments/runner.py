@@ -221,6 +221,29 @@ def _render_placement():
     )
 
 
+def _render_faults():
+    rows = figures.fault_tolerance_study()
+    return (
+        "Fault tolerance - scripted failure schedules on a two-worker "
+        "cluster\n(one dense Poisson trace, simulated clock; every row "
+        "must serve all requests\nexactly once, byte-identically to the "
+        "fault-free row)\n"
+        + format_rows(
+            rows,
+            ["scheme", "served", "p95_ms", "makespan_ms", "crashes",
+             "restarts", "failovers", "retries", "recovered", "dropped",
+             "reordered"],
+        )
+        + "\n\na mid-batch crash loses the in-flight batch to failover "
+        "(requeued at the\nhead, so dispatch order is preserved); without "
+        "a restart budget the\nsurvivor adopts the dead worker's models; "
+        "a torn plan-store line is\nskipped and counted recovered.  "
+        "dropped/reordered must be 0 and result\nbytes identical in every "
+        "row -- the study raises otherwise, which is what\nthe CI faults "
+        "job relies on."
+    )
+
+
 def _render_ablations():
     data = figures.ablation_design_choices()
     rows = [[k, v] for k, v in data.items()]
@@ -247,6 +270,7 @@ EXPERIMENTS = {
     "scheduling": _render_scheduling,
     "warmup": _render_warmup,
     "placement": _render_placement,
+    "faults": _render_faults,
 }
 
 

@@ -14,7 +14,9 @@ Two tracks coexist in one trace:
 ``"sim"``
     Simulated microseconds (the paper's latency tables): request /
     queue / batch / kernel / stage spans, admission and placement
-    events.  Stamps are the server's discrete-event clock.
+    events, and the cluster layer's ``failover``-phase instants
+    (worker crash / failover / restart / store-recovery marks).
+    Stamps are the server's discrete-event clock.
 ``"wall"``
     Wall-clock microseconds (``time.perf_counter() * 1e6``): plan
     compiles and real kernel executions -- process properties, not
@@ -188,6 +190,24 @@ class Tracer:
     def spans_in(self, phase: str) -> list[Span]:
         return [s for s in self.spans if s.phase == phase]
 
+    def events_in(self, phase: str) -> list[Span]:
+        """Zero-duration instants of one phase (admission, failover...)."""
+        return [s for s in self.spans if s.phase == phase and s.is_event]
+
+    def counts_by_phase(self) -> dict[str, int]:
+        """Span tallies per phase, sorted by phase name.
+
+        The consistency tests cross-check these against the metrics
+        registry (``batch`` spans == batches recorded, ``request``
+        spans == requests served, ``failover`` events >= failovers), so
+        a span emitted twice -- or a code path that forgot its span --
+        shows up as a counting mismatch rather than a silent drift.
+        """
+        out: dict[str, int] = {}
+        for s in self.spans:
+            out[s.phase] = out.get(s.phase, 0) + 1
+        return dict(sorted(out.items()))
+
     def children_of(self, span_id: int) -> list[Span]:
         return [s for s in self.spans if s.parent_id == span_id]
 
@@ -224,6 +244,12 @@ class NullTracer:
 
     def spans_in(self, phase: str) -> list[Span]:
         return []
+
+    def events_in(self, phase: str) -> list[Span]:
+        return []
+
+    def counts_by_phase(self) -> dict[str, int]:
+        return {}
 
     def children_of(self, span_id: int) -> list[Span]:
         return []

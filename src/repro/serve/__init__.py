@@ -33,6 +33,13 @@ latency tables (Tables 2-4) toward serving live traffic:
     Asyncio front end (``submit()`` / ``serve_forever()``) dispatching
     coalesced batches to worker loops across backends and devices on a
     simulated clock.
+``cluster`` / ``ipc``
+    Fault-tolerant multi-process scale-out: a coordinator routing over
+    N workers -- deterministic simulations driven by a ``FaultPlan``,
+    or real subprocesses speaking length-prefixed JSON frames
+    (``ipc``) over pipes -- with heartbeat crash detection, bounded
+    retry with failover, exactly-once completion, worker restarts and
+    graceful drain, all sharing one persistent ``PlanCacheStore``.
 ``metrics``
     Per-worker p50/p95 simulated latency, queue depth, batch occupancy,
     admission/autoswitch counters, and plan-/autotune-cache hit rates.
@@ -41,6 +48,26 @@ latency tables (Tables 2-4) toward serving live traffic:
 """
 
 from .batcher import DEFAULT_CANDIDATE_BATCHES, BatchDecision, DynamicBatcher
+from .cluster import (
+    ClusterCoordinator,
+    ClusterError,
+    ClusterPolicy,
+    ClusterResult,
+    FaultEvent,
+    FaultPlan,
+    ModelSpec,
+    WorkerCrashed,
+    result_payload,
+)
+from .ipc import (
+    IPC_SCHEMA_VERSION,
+    FrameError,
+    canonical_json,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 from .metrics import (
     METRICS_SCHEMA_VERSION,
     ServerMetrics,
@@ -134,6 +161,22 @@ __all__ = [
     "InferenceServer",
     "RequestResult",
     "ServedModel",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterPolicy",
+    "ClusterResult",
+    "FaultEvent",
+    "FaultPlan",
+    "ModelSpec",
+    "WorkerCrashed",
+    "result_payload",
+    "IPC_SCHEMA_VERSION",
+    "FrameError",
+    "canonical_json",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
     "TraceEvent",
     "RejectedRequest",
     "poisson_trace",

@@ -1,0 +1,1583 @@
+"""Fault-tolerant multi-process scale-out for the serving stack.
+
+This module grows the single-process :class:`~repro.serve.server
+.InferenceServer` simulation into an actual *cluster*: a
+:class:`ClusterCoordinator` owns the request queues, runs the
+:class:`~repro.serve.placement.PlacementController` across N named
+workers, and routes batches to them -- where a worker is either a
+deterministic in-process simulation (``mode="sim"``) or a **real
+subprocess** (``mode="process"``) speaking the length-prefixed JSON
+protocol of :mod:`repro.serve.ipc` over its stdin/stdout pipes.  Both
+modes share the persistent :class:`~repro.serve.plan_cache
+.PlanCacheStore`: the coordinator prewarms every candidate plan into
+``cache_dir`` and each worker subprocess loads the same store, so no
+process ever replans what another already priced.
+
+Failure handling, the point of the module:
+
+* **crash detection** -- a subprocess worker that dies (kill -9, OOM,
+  bug) surfaces as EOF or a torn frame on its pipe; a wedged-but-alive
+  one is caught by the coordinator's heartbeat pings
+  (``heartbeat_timeout_s`` without any frame -> declared dead and
+  killed).  Simulated workers crash at the exact simulated instants a
+  :class:`FaultPlan` scripts.
+* **bounded retry with failover** -- the in-flight requests of a dead
+  worker's batch are requeued at the head of their model queue (they
+  are the earliest arrivals) and re-dispatched to a surviving replica,
+  at most ``max_attempts`` dispatches per request; exhausted requests
+  fail loudly with :class:`ClusterError` and count as
+  ``dropped_requests``.
+* **exactly-once completion** -- a request's future resolves at most
+  once; retries never re-record the dispatch-order watermark (the first
+  dispatch committed the order), so failover can never masquerade as a
+  reorder, and the result payload is a pure function of (model,
+  backend, device, request id, batch-1 price) -- byte-identical no
+  matter which replica finally served it, which batch coalesced it, or
+  how many times it was retried.
+* **restart** -- crashed workers optionally respawn (``max_restarts``
+  per worker): simulated workers come back ``restart_delay_us`` later
+  on the simulated clock; subprocess workers are re-spawned and reload
+  their plans from the shared store.
+* **graceful drain** -- ``stop()`` lets every queued and in-flight
+  request complete (failing over if a worker dies mid-drain) before
+  shutting worker processes down with a ``shutdown`` frame.
+
+Determinism: in sim mode nothing sleeps and nothing reads the wall
+clock -- crashes, slowdowns and store corruption all happen at scripted
+simulated instants -- so every failure schedule replays bit-identically
+and the invariant suite (zero ``dropped_requests``, zero
+``reordered_dispatches``, byte-identical payloads vs the fault-free
+run) holds without a single wall-clock sleep.  Process mode keeps the
+same simulated-time accounting (service comes from the worker's priced
+plan, not elapsed wall time); only crash *detection* is wall-clock,
+because real processes die in real time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import bisect
+import itertools
+import os
+import sys
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.types import PrecisionPair
+from ..nn.engine import APNNBackend, InferenceEngine
+from ..obs import NULL_TRACER, Tracer
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..tensorcore.device import RTX3090, DeviceSpec
+from .ipc import (
+    IPC_SCHEMA_VERSION,
+    canonical_json,
+    read_frame,
+    read_frame_async,
+    write_frame,
+    write_frame_async,
+)
+from .metrics import ServerMetrics
+from .placement import PlacementController, PlacementPolicy
+from .plan_cache import PlanCache, PlanCacheStore, backend_key
+
+__all__ = [
+    "ModelSpec",
+    "FaultEvent",
+    "FaultPlan",
+    "ClusterPolicy",
+    "ClusterResult",
+    "ClusterError",
+    "WorkerCrashed",
+    "ClusterCoordinator",
+    "result_payload",
+]
+
+_FAULT_KINDS = ("crash", "slow", "corrupt_store")
+
+#: Batch sizes the coordinator considers (largest candidate that the
+#: visible backlog fills wins); shared default with the dynamic batcher.
+DEFAULT_CLUSTER_BATCHES = (1, 2, 4, 8)
+
+
+# ----------------------------------------------------------------------
+# model specs (serializable: workers rebuild models from these)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelSpec:
+    """A model as data, so worker subprocesses can rebuild it.
+
+    Subprocess workers cannot receive live :class:`~repro.nn.module
+    .Sequential` objects over a JSON pipe; they receive specs and call
+    :meth:`build`.  Construction is deterministic (seeded RNG, fixed
+    architecture per ``kind``), so the coordinator and every worker
+    derive identical layer geometry -- and therefore identical plan
+    keys and identical plan prices -- from the same spec.
+    """
+
+    kind: str                          #: "micro" | "alexnet" | "resnet18"
+    name: str
+    seed: int = 0
+    input_shape: tuple[int, int, int] = (3, 16, 16)
+    num_classes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("micro", "alexnet", "resnet18"):
+            raise ValueError(f"unknown model spec kind {self.kind!r}")
+        if len(self.input_shape) != 3:
+            raise ValueError(
+                f"input_shape must be (C, H, W), got {self.input_shape}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "seed": self.seed,
+            "input_shape": list(self.input_shape),
+            "num_classes": self.num_classes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ModelSpec":
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            seed=int(data["seed"]),
+            input_shape=tuple(data["input_shape"]),
+            num_classes=int(data["num_classes"]),
+        )
+
+    def build(self):
+        """Construct the model (memoized per spec -- read-only planning
+        input, shareable across engines and tests)."""
+        return _build_model(self)
+
+
+_model_cache: dict[ModelSpec, object] = {}
+
+
+def _build_model(spec: ModelSpec):
+    if spec in _model_cache:
+        return _model_cache[spec]
+    if spec.kind == "micro":
+        import numpy as _np
+
+        from ..nn.layers import (
+            Conv2d, Flatten, Linear, MaxPool2d, Quantize, ReLU,
+        )
+        from ..nn.module import Sequential
+
+        r = _np.random.default_rng(spec.seed)
+        c, h = 16, spec.input_shape[1]
+        model = Sequential(
+            [
+                Conv2d(spec.input_shape[0], c, 3, 1, 1, rng=r, name="c1"),
+                ReLU(),
+                Quantize(2),
+                Conv2d(c, c, 3, 1, 1, rng=r, name="c2"),
+                ReLU(),
+                MaxPool2d(2, 2, name="p1"),
+                Quantize(2),
+                Flatten(),
+                Linear(c * (h // 2) * (h // 2), spec.num_classes,
+                       rng=r, name="fc"),
+            ],
+            name=spec.name,
+        )
+    elif spec.kind == "alexnet":
+        from ..nn import alexnet
+
+        model = alexnet(
+            num_classes=spec.num_classes, input_size=spec.input_shape[1]
+        )
+    else:
+        from ..nn import resnet18
+
+        model = resnet18(
+            num_classes=spec.num_classes, input_size=spec.input_shape[1]
+        )
+    _model_cache[spec] = model
+    return model
+
+
+# ----------------------------------------------------------------------
+# fault injection plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted failure at a simulated instant.
+
+    ``kind``:
+
+    * ``"crash"`` -- ``worker`` dies at ``at_us``: before taking work if
+      idle then, mid-batch (losing the batch to failover) if busy.
+    * ``"slow"`` -- from ``at_us`` on, ``worker``'s modeled service time
+      is multiplied by ``factor`` (a degraded replica, not a dead one).
+    * ``"corrupt_store"`` -- at ``at_us`` the shared plan store gains a
+      torn trailing line, exactly what a crash during an append leaves
+      behind; the next load must skip it and count it recovered.
+    """
+
+    kind: str
+    at_us: float
+    worker: str = ""
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {_FAULT_KINDS}"
+            )
+        if self.at_us < 0:
+            raise ValueError(f"at_us must be >= 0, got {self.at_us}")
+        if self.kind != "corrupt_store" and not self.worker:
+            raise ValueError(f"{self.kind} fault needs a worker name")
+        if self.kind == "slow" and self.factor < 1.0:
+            raise ValueError(
+                f"slow factor must be >= 1 (a slowdown), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic failure schedule for one simulated cluster run.
+
+    Pure data: the coordinator consumes it in sim mode only (real
+    subprocesses are failed with real signals via
+    :meth:`ClusterCoordinator.kill_worker`).  Build with the named
+    constructors::
+
+        FaultPlan.of(
+            FaultPlan.crash("worker-1", at_us=800.0),
+            FaultPlan.slow("worker-0", at_us=0.0, factor=4.0),
+            FaultPlan.corrupt_store(at_us=1200.0),
+        )
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    @staticmethod
+    def crash(worker: str, at_us: float) -> FaultEvent:
+        return FaultEvent(kind="crash", at_us=at_us, worker=worker)
+
+    @staticmethod
+    def slow(worker: str, at_us: float, factor: float) -> FaultEvent:
+        return FaultEvent(
+            kind="slow", at_us=at_us, worker=worker, factor=factor
+        )
+
+    @staticmethod
+    def corrupt_store(at_us: float) -> FaultEvent:
+        return FaultEvent(kind="corrupt_store", at_us=at_us)
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultPlan":
+        return cls(events=tuple(events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def crash_times(self, worker: str) -> tuple[float, ...]:
+        return tuple(sorted(
+            e.at_us for e in self.events
+            if e.kind == "crash" and e.worker == worker
+        ))
+
+    def slow_factor(self, worker: str, at_us: float) -> float:
+        """The worker's service multiplier at ``at_us`` (latest slow
+        event at or before that instant wins; 1.0 when none)."""
+        factor = 1.0
+        best = -1.0
+        for e in self.events:
+            if (
+                e.kind == "slow" and e.worker == worker
+                and best < e.at_us <= at_us
+            ):
+                best = e.at_us
+                factor = e.factor
+        return factor
+
+    def corruption_times(self) -> tuple[float, ...]:
+        return tuple(sorted(
+            e.at_us for e in self.events if e.kind == "corrupt_store"
+        ))
+
+
+# ----------------------------------------------------------------------
+# policy / results / errors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterPolicy:
+    """Fault-tolerance knobs of one coordinator.
+
+    ``max_attempts`` bounds dispatches *per request* (first try plus
+    retries); ``max_restarts`` bounds respawns *per worker name*.  The
+    heartbeat settings only matter in process mode -- crash detection of
+    real processes is inherently wall-clock -- and are tuned so an idle
+    worker pongs many times per timeout.
+    """
+
+    max_attempts: int = 3
+    restart_crashed: bool = True
+    max_restarts: int = 1
+    restart_delay_us: float = 1_000.0
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.restart_delay_us < 0:
+            raise ValueError(
+                f"restart_delay_us must be >= 0, got {self.restart_delay_us}"
+            )
+        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat settings must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one request served by the cluster.
+
+    ``payload`` is the canonical-JSON result body
+    (:func:`result_payload`): a pure function of what was computed, not
+    of where or when -- the byte string the exactly-once and failover
+    tests compare across replicas, retries, and whole runs.
+    """
+
+    request_id: int
+    model: str
+    worker: str
+    attempts: int        #: dispatches this request took (1 = no retry)
+    batch_size: int
+    batch_requests: int
+    arrival_us: float
+    start_us: float
+    finish_us: float
+    payload: str
+
+    @property
+    def wait_us(self) -> float:
+        return self.start_us - self.arrival_us
+
+    @property
+    def service_us(self) -> float:
+        return self.finish_us - self.start_us
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1000.0
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+class ClusterError(RuntimeError):
+    """A request failed permanently (retry budget exhausted)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """Internal: a worker died with this call in flight (retryable)."""
+
+
+def result_payload(
+    model: str, backend, device: DeviceSpec, unit_us: float, request_id: int
+) -> str:
+    """The canonical result body of one served request.
+
+    Deliberately independent of batching, queueing, timing, replica
+    identity and retry count: two dispatches of the same request on any
+    replica at any time produce identical bytes, because the priced
+    batch-1 total is a deterministic function of (model architecture,
+    backend, device, calibration) and everything else here is identity.
+    """
+    return canonical_json({
+        "backend": backend_key(backend),
+        "device": device.name,
+        "model": model,
+        "request_id": request_id,
+        "unit_us": unit_us,
+    })
+
+
+# ----------------------------------------------------------------------
+# internal request / worker state
+# ----------------------------------------------------------------------
+@dataclass
+class _ClusterRequest:
+    request_id: int
+    model: str
+    arrival_us: float
+    future: asyncio.Future = field(repr=False)
+    attempts: int = 0    #: dispatches so far (incremented at each take)
+
+
+@dataclass
+class _WorkerState:
+    """Coordinator-side bookkeeping of one named worker slot.
+
+    ``generation`` increments at every crash; a worker-loop task carries
+    the generation it was spawned for and exits when the state has moved
+    on, so a stale loop (or a stale failover) can never act on a
+    restarted worker.
+    """
+
+    name: str
+    alive: bool = True
+    generation: int = 0
+    restarts: int = 0
+    sim_free_at_us: float = 0.0
+    crashes: deque = field(default_factory=deque)  #: sim crash instants
+    transport: "_WorkerProcess | None" = None
+
+
+# ----------------------------------------------------------------------
+# subprocess transport (process mode)
+# ----------------------------------------------------------------------
+class _WorkerProcess:
+    """One live worker subprocess: pipes, reader task, heartbeats.
+
+    ``call()`` is request/response over sequence numbers; the reader
+    task demultiplexes replies and pongs.  Any EOF or torn frame fails
+    every pending call with :class:`WorkerCrashed` and fires
+    ``on_death`` exactly once -- the coordinator's crash path -- whether
+    the process was killed, crashed, or timed out and was killed by the
+    heartbeat monitor here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hello: dict,
+        policy: ClusterPolicy,
+        metrics: ServerMetrics,
+        on_death,
+    ) -> None:
+        self.name = name
+        self._hello = hello
+        self._policy = policy
+        self._metrics = metrics
+        self._on_death = on_death
+        self.proc: asyncio.subprocess.Process | None = None
+        self.ready: dict = {}
+        self._seq = itertools.count()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._closing = False
+        self._dead = False
+        self._last_contact = 0.0
+
+    async def start(self) -> None:
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(src_root) + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else str(src_root)
+        )
+        # -c instead of -m: the package re-exports this module, so
+        # runpy's re-execution under -m would warn about the duplicate.
+        self.proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-c",
+            "import sys; from repro.serve.cluster import _worker_main; "
+            "sys.exit(_worker_main())",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        await write_frame_async(self.proc.stdin, self._hello)
+        ready = await read_frame_async(self.proc.stdout)
+        if ready is None or ready.get("type") != "ready":
+            raise RuntimeError(
+                f"worker {self.name} failed its handshake: {ready!r}"
+            )
+        self.ready = ready
+        self._last_contact = time.monotonic()
+        self._tasks = [
+            asyncio.create_task(
+                self._read_loop(), name=f"cluster-read-{self.name}"
+            ),
+            asyncio.create_task(
+                self._heartbeat_loop(), name=f"cluster-hb-{self.name}"
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    async def call(self, message: dict) -> dict:
+        """Send one frame and await its reply (same ``seq``)."""
+        if self._dead or self.proc is None:
+            raise WorkerCrashed(f"worker {self.name} is dead")
+        seq = next(self._seq)
+        message = dict(message, seq=seq)
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[seq] = fut
+        try:
+            await write_frame_async(self.proc.stdin, message)
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            self._pending.pop(seq, None)
+            raise WorkerCrashed(
+                f"worker {self.name} pipe closed mid-send"
+            ) from exc
+        return await fut
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (the tests' mid-batch murder)."""
+        if self.proc is not None and self.proc.returncode is None:
+            self.proc.kill()
+
+    async def close(self) -> None:
+        """Graceful shutdown: drain frame, bounded wait, then kill."""
+        self._closing = True
+        if self.proc is not None and self.proc.returncode is None:
+            try:
+                await asyncio.wait_for(
+                    self.call({"type": "shutdown"}), timeout=5.0
+                )
+            except (WorkerCrashed, asyncio.TimeoutError, OSError):
+                pass
+            try:
+                await asyncio.wait_for(self.proc.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                self.kill()
+                await self.proc.wait()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self.proc is not None
+        try:
+            while True:
+                msg = await read_frame_async(self.proc.stdout)
+                if msg is None:
+                    break
+                self._last_contact = time.monotonic()
+                if msg.get("type") == "pong":
+                    continue
+                seq = msg.get("seq")
+                fut = self._pending.pop(seq, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+        except Exception:
+            pass  # torn frame or closed pipe: same as EOF below
+        self._mark_dead()
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping on an interval; declare death on silence past timeout.
+
+        A worker busy pricing a batch does not pong (its loop is
+        single-threaded on purpose -- a worker that cannot serve *is*
+        degraded), so the timeout must exceed any honest batch; the
+        slow-worker tests shrink it to catch a wedged worker quickly.
+        """
+        assert self.proc is not None
+        while not self._closing and not self._dead:
+            await asyncio.sleep(self._policy.heartbeat_interval_s)
+            if self._closing or self._dead:
+                return
+            silent_s = time.monotonic() - self._last_contact
+            if silent_s > self._policy.heartbeat_timeout_s:
+                self._metrics.record_heartbeat_timeout(self.name)
+                self.kill()  # EOF lands in the read loop -> death path
+                return
+            try:
+                await write_frame_async(
+                    self.proc.stdin, {"type": "ping"}
+                )
+            except (ConnectionError, RuntimeError, OSError):
+                return  # pipe gone; the read loop handles it
+
+    def _mark_dead(self) -> None:
+        if self._dead:
+            return
+        self._dead = True
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(
+                    WorkerCrashed(f"worker {self.name} died in flight")
+                )
+        self._pending.clear()
+        if not self._closing:
+            self._on_death(self)
+
+
+# ----------------------------------------------------------------------
+# worker subprocess entry point
+# ----------------------------------------------------------------------
+def _worker_main() -> int:
+    """Serve batches over stdin/stdout frames until shutdown or EOF.
+
+    The loop is deliberately sequential and blocking: one frame in, one
+    frame out.  All pricing state (engines, plan cache over the shared
+    store) is rebuilt from the ``hello`` message, so a respawned worker
+    is indistinguishable from the original -- same plan keys, same
+    totals, same result bytes.
+    """
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # Frames own the real stdout; redirect stray prints from model /
+    # kernel code to stderr so they can never corrupt the stream.
+    sys.stdout = sys.stderr
+
+    hello = read_frame(stdin)
+    if hello is None:
+        return 0
+    if (
+        hello.get("type") != "hello"
+        or hello.get("ipc") != IPC_SCHEMA_VERSION
+    ):
+        write_frame(stdout, {
+            "type": "error", "seq": hello.get("seq"),
+            "message": f"bad hello (ipc {hello.get('ipc')!r} "
+                       f"!= {IPC_SCHEMA_VERSION})",
+        })
+        return 1
+    name = hello["worker"]
+    if hello["device"] != RTX3090.name:
+        write_frame(stdout, {
+            "type": "error", "seq": hello.get("seq"),
+            "message": f"unknown device {hello['device']!r}",
+        })
+        return 1
+    backend = APNNBackend(PrecisionPair.parse(hello["pair"]))
+    device = RTX3090
+    cache_dir = hello.get("cache_dir")
+    cache = (
+        PlanCache(store=PlanCacheStore(cache_dir))
+        if cache_dir else PlanCache()
+    )
+    specs = {
+        n: ModelSpec.from_dict(d) for n, d in hello["models"].items()
+    }
+    engines = {
+        n: InferenceEngine(spec.build(), backend, device)
+        for n, spec in specs.items()
+    }
+    write_frame(stdout, {
+        "type": "ready",
+        "worker": name,
+        "pid": os.getpid(),
+        "plans_loaded": len(cache),
+        "store_recovered_lines": cache.stats().store_recovered_lines,
+    })
+
+    slow_sleep_s = float(hello.get("slow_sleep_s", 0.0))
+    while True:
+        msg = read_frame(stdin)
+        if msg is None:
+            return 0  # coordinator hung up: treat as shutdown
+        mtype = msg.get("type")
+        if mtype == "ping":
+            write_frame(stdout, {"type": "pong", "seq": msg.get("seq")})
+        elif mtype == "set_slow":
+            # Test hook: wedge this worker (sleep before every reply) so
+            # the heartbeat monitor has something real to catch.
+            slow_sleep_s = float(msg["seconds"])
+            write_frame(stdout, {"type": "ok", "seq": msg.get("seq")})
+        elif mtype == "batch":
+            model = msg["model"]
+            batch_size = int(msg["batch_size"])
+            try:
+                engine = engines[model]
+                shape = specs[model].input_shape
+                service_us = cache.total_us(engine, batch_size, shape)
+                unit_us = cache.total_us(engine, 1, shape)
+                results = [
+                    {
+                        "request_id": rid,
+                        "payload": result_payload(
+                            model, backend, device, unit_us, rid
+                        ),
+                    }
+                    for rid in msg["requests"]
+                ]
+            except Exception as exc:
+                write_frame(stdout, {
+                    "type": "error", "seq": msg.get("seq"),
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            if slow_sleep_s > 0:
+                time.sleep(slow_sleep_s)
+            write_frame(stdout, {
+                "type": "result",
+                "seq": msg.get("seq"),
+                "service_us": service_us,
+                "compiles": cache.stats().compiles,
+                "results": results,
+            })
+        elif mtype == "shutdown":
+            write_frame(stdout, {"type": "bye", "seq": msg.get("seq")})
+            return 0
+        else:
+            write_frame(stdout, {
+                "type": "error", "seq": msg.get("seq"),
+                "message": f"unknown message type {mtype!r}",
+            })
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+class ClusterCoordinator:
+    """Routes requests over N workers with failover, retry and restart.
+
+    The client surface mirrors :class:`~repro.serve.server
+    .InferenceServer` (``await submit(model, arrival_us=...)``,
+    ``start()`` / ``stop()``, a ``metrics`` registry, an optional
+    ``tracer``), so the existing trace :func:`~repro.serve.trace.replay`
+    drives a cluster unchanged.  Scheduling is FIFO per worker across
+    the model queues its placement routes to it; batches take the
+    largest ``candidate_batches`` entry the arrived-by-now backlog
+    fills.
+
+    ``mode="sim"`` executes by pricing plans in-process on the simulated
+    clock, with a :class:`FaultPlan` scripting failures
+    deterministically; ``mode="process"`` spawns one real Python
+    subprocess per worker (see :func:`_worker_main`) and prices batches
+    there, with real crash detection.  ``start()`` always prewarms every
+    (model, candidate batch) plan, so worker subprocesses find a fully
+    warm shared store and the sim path never compiles mid-dispatch.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, ModelSpec],
+        num_workers: int = 2,
+        *,
+        mode: str = "sim",
+        policy: ClusterPolicy | None = None,
+        placement: PlacementPolicy | None = None,
+        faults: FaultPlan | None = None,
+        pair: str | PrecisionPair = "w1a2",
+        candidate_batches: Sequence[int] = DEFAULT_CLUSTER_BATCHES,
+        cache_dir: str | Path | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("cluster needs at least one model")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if mode not in ("sim", "process"):
+            raise ValueError(f"mode must be 'sim' or 'process', got {mode!r}")
+        self.mode = mode
+        self.policy = policy if policy is not None else ClusterPolicy()
+        self.faults = faults if faults is not None else FaultPlan()
+        if self.faults and mode == "process":
+            raise ValueError(
+                "FaultPlan schedules simulated instants; in process mode "
+                "inject real faults via kill_worker()/set_slow()"
+            )
+        if placement is not None and placement.shard:
+            raise ValueError(
+                "the cluster layer does not run pipeline-sharded models; "
+                "use InferenceServer for shard specs"
+            )
+        self.specs: dict[str, ModelSpec] = dict(models)
+        for name, spec in self.specs.items():
+            if not isinstance(spec, ModelSpec):
+                raise TypeError(
+                    f"model {name!r}: cluster models must be ModelSpec "
+                    f"(workers rebuild them from data), got {type(spec)}"
+                )
+        if isinstance(pair, str):
+            pair = PrecisionPair.parse(pair)
+        self.pair = pair
+        self.backend = APNNBackend(pair)
+        self.device = RTX3090
+        if not candidate_batches or min(candidate_batches) < 1:
+            raise ValueError(
+                f"candidate_batches must be positive, got {candidate_batches}"
+            )
+        # Batch 1 is always a candidate: result payloads carry the
+        # batch-1 unit price, so that plan must be prewarmed.
+        self.candidate_batches = tuple(
+            sorted(set(candidate_batches) | {1})
+        )
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._calibration = calibration
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = ServerMetrics()
+        if self.cache_dir is not None:
+            self.plan_cache = PlanCache(
+                store=PlanCacheStore(self.cache_dir)
+            )
+            # Damaged lines survived by the load are an event worth
+            # counting even before any traffic arrives.
+            self.metrics.record_store_recovery(
+                self.plan_cache.stats().store_recovered_lines
+            )
+        else:
+            self.plan_cache = PlanCache()
+        if self.tracer.enabled:
+            self.plan_cache.tracer = self.tracer
+
+        self._worker_names = tuple(
+            f"worker-{i}" for i in range(num_workers)
+        )
+        self._workers: dict[str, _WorkerState] = {
+            name: _WorkerState(name=name) for name in self._worker_names
+        }
+        self.placement_controller: PlacementController | None = None
+        if placement is not None:
+            self.placement_controller = PlacementController(
+                placement, self.specs, list(self._worker_names)
+            )
+            if self.tracer.enabled:
+                self.placement_controller.tracer = self.tracer
+            self.metrics.replica_counts = (
+                self.placement_controller.placement.replica_counts()
+            )
+
+        self._engines: dict[str, InferenceEngine] = {
+            name: InferenceEngine(
+                spec.build(), self.backend, self.device,
+                calibration=calibration,
+            )
+            for name, spec in self.specs.items()
+        }
+        self._queues: dict[str, deque[_ClusterRequest]] = {
+            name: deque() for name in self.specs
+        }
+        self._corruptions: deque[float] = deque(
+            self.faults.corruption_times()
+        )
+        self._store_damage_seen = 0
+        self._ids = itertools.count()
+        self._cond: asyncio.Condition | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self._inflight = 0
+        self._sim_now_us = 0.0
+        self._last_finish_us = 0.0
+        #: replay() compatibility: the cluster never sleeps service time.
+        self.time_scale = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Prewarm plans, spawn workers (real or simulated), go live."""
+        if self._running:
+            return
+        self._running = True
+        self._cond = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="cluster-compile"
+        )
+        if not self.metrics.has_autotune_baseline:
+            self.metrics.mark_autotune_baseline()
+        await self._prewarm()
+        for name in self._worker_names:
+            st = self._workers[name]
+            st.crashes = deque(self.faults.crash_times(name))
+            if self.mode == "process":
+                st.transport = await self._spawn(name)
+        self._tasks = [
+            asyncio.create_task(
+                self._worker_loop(name, self._workers[name].generation),
+                name=f"cluster-{name}",
+            )
+            for name in self._worker_names
+        ]
+
+    async def stop(self) -> None:
+        """Graceful drain: serve everything queued or in flight, then
+        shut worker processes down and account for any leftovers."""
+        if not self._running:
+            return
+        self._running = False
+        async with self._cond:
+            self._cond.notify_all()
+        # Restart tasks may be spawned *while* draining (a worker dying
+        # mid-drain still fails over); gather until the list stays empty.
+        while self._tasks:
+            tasks, self._tasks = self._tasks, []
+            await asyncio.gather(*tasks)
+        for name in self._worker_names:
+            st = self._workers[name]
+            if st.transport is not None:
+                await st.transport.close()
+                st.transport = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        leftovers = [r for q in self._queues.values() for r in q]
+        if leftovers:
+            # Drain invariant violated (e.g. every replica dead with no
+            # restart budget): count it loudly and fail the futures so
+            # no client hangs.
+            self.metrics.record_dropped(len(leftovers))
+            for q in self._queues.values():
+                q.clear()
+            for r in leftovers:
+                if not r.future.done():
+                    r.future.set_exception(ClusterError(
+                        f"request {r.request_id} for {r.model!r} was "
+                        f"dropped at cluster stop (no surviving worker)"
+                    ))
+
+    async def submit(
+        self, model: str, arrival_us: float | None = None
+    ) -> ClusterResult:
+        """Enqueue one request and await its (exactly-once) completion."""
+        if model not in self.specs:
+            raise KeyError(
+                f"unknown model {model!r}; served: {sorted(self.specs)}"
+            )
+        if self._cond is None or not self._running:
+            raise RuntimeError(
+                "cluster not running; call await cluster.start() first"
+            )
+        req = _ClusterRequest(
+            request_id=next(self._ids),
+            model=model,
+            arrival_us=(
+                arrival_us if arrival_us is not None else self._sim_now_us
+            ),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        async with self._cond:
+            if not self._running:
+                raise RuntimeError(
+                    "cluster is stopped; no worker will serve"
+                )
+            self.metrics.record_arrival(model, req.arrival_us)
+            self.metrics.note_out_of_order_submit(model, req.arrival_us)
+            queue = self._queues[model]
+            if not queue or req.arrival_us >= queue[-1].arrival_us:
+                queue.append(req)
+            else:
+                stamps = [r.arrival_us for r in queue]
+                queue.insert(
+                    bisect.bisect_right(stamps, req.arrival_us), req
+                )
+            self.metrics.record_queue_depth(self.queue_depth)
+            self._sim_now_us = max(self._sim_now_us, req.arrival_us)
+            self._cond.notify_all()
+        return await req.future
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def sim_duration_us(self) -> float:
+        return self._last_finish_us
+
+    def alive_workers(self) -> tuple[str, ...]:
+        return tuple(
+            name for name in self._worker_names
+            if self._workers[name].alive
+        )
+
+    # ------------------------------------------------------------------
+    # test hooks (process mode)
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> dict[str, int]:
+        return {
+            name: st.transport.ready["pid"]
+            for name, st in self._workers.items()
+            if st.transport is not None and st.transport.ready
+        }
+
+    def kill_worker(self, name: str) -> None:
+        """SIGKILL a real worker subprocess (mid-batch murder hook)."""
+        if self.mode != "process":
+            raise RuntimeError(
+                "kill_worker needs mode='process'; script a FaultPlan "
+                "crash for simulated clusters"
+            )
+        st = self._workers[name]
+        if st.transport is not None:
+            st.transport.kill()
+
+    async def set_slow(self, name: str, seconds: float) -> None:
+        """Make a real worker sleep before every reply (wedge hook)."""
+        if self.mode != "process":
+            raise RuntimeError("set_slow needs mode='process'")
+        st = self._workers[name]
+        if st.transport is None:
+            raise RuntimeError(f"worker {name} has no live process")
+        await st.transport.call(
+            {"type": "set_slow", "seconds": seconds}
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    async def _prewarm(self) -> None:
+        t0 = time.perf_counter()
+        jobs = []
+        for name, spec in self.specs.items():
+            engine = self._engines[name]
+            for batch in self.candidate_batches:
+                jobs.append(self.plan_cache.ensure_async(
+                    engine, batch, spec.input_shape,
+                    executor=self._executor,
+                ))
+        compiled = await asyncio.gather(*jobs)
+        self.metrics.record_prewarm(
+            sum(compiled), (time.perf_counter() - t0) * 1e6
+        )
+
+    async def _spawn(self, name: str) -> _WorkerProcess:
+        hello = {
+            "type": "hello",
+            "ipc": IPC_SCHEMA_VERSION,
+            "worker": name,
+            "pair": self.pair.name,
+            "device": self.device.name,
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+            "models": {
+                n: spec.to_dict() for n, spec in self.specs.items()
+            },
+        }
+        transport = _WorkerProcess(
+            name, hello, self.policy, self.metrics, self._transport_died
+        )
+        await transport.start()
+        return transport
+
+    def _transport_died(self, transport: _WorkerProcess) -> None:
+        """Reader-task callback: a live process's pipe went away.
+
+        Handled in a tracked task (stop() gathers it) because the
+        callback fires inside the transport's reader task, which must
+        not block on the coordinator lock.
+        """
+        self._tasks.append(asyncio.get_running_loop().create_task(
+            self._on_transport_death(transport),
+            name=f"cluster-death-{transport.name}",
+        ))
+
+    async def _on_transport_death(self, transport: _WorkerProcess) -> None:
+        async with self._cond:
+            st = self._workers[transport.name]
+            if st.transport is not transport:
+                return  # stale: a restart already replaced it
+            if st.alive:
+                self._crash_locked(
+                    st, self._sim_now_us, [], None, st.generation
+                )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _routes(self, worker: str, model: str) -> bool:
+        """May ``worker`` serve ``model``'s queue right now?
+
+        Placement decides normally; a model whose entire replica set is
+        dead is adopted by the first alive worker, because a placed
+        request must never be stranded behind a placement that no
+        longer names any survivor.
+        """
+        if not self._workers[worker].alive:
+            return False
+        ctl = self.placement_controller
+        if ctl is None:
+            return True
+        placement = ctl.placement
+        if placement.serves(worker, model):
+            return True
+        if any(
+            self._workers[w].alive
+            for w in placement.replicas_of(model)
+            if w in self._workers
+        ):
+            return False
+        return worker == self._first_alive()
+
+    def _first_alive(self) -> str | None:
+        for name in self._worker_names:
+            if self._workers[name].alive:
+                return name
+        return None
+
+    def _routable_models(self, worker: str) -> list[str]:
+        return [
+            model for model, q in self._queues.items()
+            if q and self._routes(worker, model)
+        ]
+
+    def _maybe_rebalance(self) -> None:
+        """Placement epoch evaluation (under the lock), as in the server."""
+        ctl = self.placement_controller
+        if ctl is None or not ctl.due(self._sim_now_us):
+            return
+        now = self._sim_now_us
+        rates: dict[str, float] = {}
+        service: dict[str, float | None] = {}
+        for model, spec in self.specs.items():
+            count, rate = self.metrics.arrival_stats(
+                model, now, ctl.policy.window_us
+            )
+            if count < ctl.policy.min_requests:
+                continue
+            rates[model] = rate
+            total = self.plan_cache.peek_total_us(
+                self._engines[model], ctl.policy.service_batch,
+                spec.input_shape,
+            )
+            service[model] = (
+                None if total is None
+                else ctl.policy.service_batch / (total * 1e-6)
+            )
+        swap = ctl.rebalance(now, rates, service)
+        if swap is not None:
+            adds, removes = swap
+            self.metrics.record_rebalance(
+                ctl.placement.epoch, adds, removes,
+                ctl.placement.replica_counts(),
+            )
+            self._cond.notify_all()
+
+    def _apply_corruptions_locked(self, now_us: float) -> None:
+        """Deterministic store damage: torn trailing line at scripted
+        instants, then a fresh load proving recovery skips exactly it."""
+        applied = False
+        while self._corruptions and self._corruptions[0] <= now_us:
+            at = self._corruptions.popleft()
+            if self.plan_cache.store is None:
+                continue  # nothing persistent to damage
+            path = self.plan_cache.store.path
+            with path.open("ab") as fh:
+                # what a crash mid-append leaves: a torn JSON prefix
+                # (newline-terminated so later appends stay on their
+                # own lines, exactly like a partial O_APPEND write)
+                fh.write(b'{"version": 1, "key": {"model\n')
+            fresh = PlanCacheStore(self.plan_cache.store.cache_dir)
+            fresh.load()
+            recovered = fresh.recovered_lines - self._store_damage_seen
+            self._store_damage_seen = fresh.recovered_lines
+            self.metrics.record_store_recovery(recovered)
+            applied = True
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "store:corrupt", "failover", at,
+                    lane="store", recovered_lines=recovered,
+                )
+        if applied:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _crash_locked(
+        self,
+        st: _WorkerState,
+        at_us: float,
+        lost: list[_ClusterRequest],
+        model: str | None,
+        generation: int,
+    ) -> None:
+        """Kill a worker's state and fail its batch over (under the lock).
+
+        Idempotent against racing detectors (EOF callback vs the worker
+        loop's in-flight error): only the call matching the worker's
+        live generation marks the crash and schedules the restart; the
+        ``lost`` requests are requeued regardless, because only their
+        dispatching loop holds them.
+        """
+        first = st.alive and st.generation == generation
+        if first:
+            st.alive = False
+            st.generation += 1
+            self.metrics.record_worker_crash(st.name)
+            self._sim_now_us = max(self._sim_now_us, at_us)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    f"crash:{st.name}", "failover", at_us,
+                    lane=st.name, worker=st.name,
+                    restarts_used=st.restarts,
+                )
+        if lost:
+            self._inflight -= len(lost)
+            retry: list[_ClusterRequest] = []
+            exhausted: list[_ClusterRequest] = []
+            for r in lost:
+                if r.future.done():
+                    continue
+                if r.attempts < self.policy.max_attempts:
+                    retry.append(r)
+                else:
+                    exhausted.append(r)
+            if retry:
+                self.metrics.record_failover(st.name, len(retry))
+                # Requeue at the head: these are the earliest arrivals
+                # of their queue, so head insertion keeps it sorted.
+                # Their redispatch is *not* re-recorded against the
+                # reorder watermark -- the first dispatch committed the
+                # order -- so failover can never count as a reorder.
+                self._queues[model].extendleft(reversed(retry))
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        f"failover:{model}", "failover", at_us,
+                        lane=st.name, worker=st.name, model=model,
+                        requests=len(retry),
+                        attempts=max(r.attempts for r in retry),
+                    )
+            if exhausted:
+                self.metrics.record_dropped(len(exhausted))
+                for r in exhausted:
+                    r.future.set_exception(ClusterError(
+                        f"request {r.request_id} for {r.model!r} failed "
+                        f"{r.attempts} dispatches (max_attempts="
+                        f"{self.policy.max_attempts})"
+                    ))
+        if first and (
+            self.policy.restart_crashed
+            and st.restarts < self.policy.max_restarts
+        ):
+            st.restarts += 1
+            if self.mode == "sim":
+                st.alive = True
+                st.sim_free_at_us = at_us + self.policy.restart_delay_us
+                self.metrics.record_worker_restart(st.name)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        f"restart:{st.name}", "failover",
+                        st.sim_free_at_us, lane=st.name, worker=st.name,
+                    )
+                self._tasks.append(asyncio.create_task(
+                    self._worker_loop(st.name, st.generation),
+                    name=f"cluster-{st.name}-r{st.restarts}",
+                ))
+            else:
+                self._tasks.append(asyncio.create_task(
+                    self._restart_process(st.name, st.generation),
+                    name=f"cluster-respawn-{st.name}",
+                ))
+        self._cond.notify_all()
+
+    async def _restart_process(self, name: str, generation: int) -> None:
+        """Respawn a dead subprocess worker and bring it back alive."""
+        old = self._workers[name].transport
+        try:
+            transport = await self._spawn(name)
+        except Exception:
+            async with self._cond:
+                self._cond.notify_all()
+            return  # stays dead; survivors carry the load
+        installed = False
+        async with self._cond:
+            st = self._workers[name]
+            if st.generation == generation:
+                st.transport = transport
+                st.alive = True
+                st.sim_free_at_us = max(
+                    st.sim_free_at_us, self._sim_now_us
+                )
+                self.metrics.record_worker_restart(name)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        f"restart:{name}", "failover", self._sim_now_us,
+                        lane=name, worker=name,
+                    )
+                self._tasks.append(asyncio.create_task(
+                    self._worker_loop(name, st.generation),
+                    name=f"cluster-{name}-r{st.restarts}",
+                ))
+                installed = True
+            self._cond.notify_all()
+        if not installed:
+            await transport.close()  # lost the race to a newer crash
+        elif old is not None:
+            await old.close()  # reap the killed process
+
+    # ------------------------------------------------------------------
+    async def _worker_loop(self, name: str, generation: int) -> None:
+        cond = self._cond
+        st = self._workers[name]
+        while True:
+            async with cond:
+                while True:
+                    if not st.alive or st.generation != generation:
+                        return
+                    self._maybe_rebalance()
+                    if (
+                        self.mode == "sim" and st.crashes
+                        and st.crashes[0] <= self._sim_now_us
+                        and not self._routable_models(name)
+                    ):
+                        # Idle crash: the scripted instant passed while
+                        # this worker had nothing to do.
+                        self._crash_locked(
+                            st, st.crashes.popleft(), [], None, generation
+                        )
+                        return
+                    if self._routable_models(name):
+                        break
+                    if (
+                        not self._running
+                        and self.queue_depth == 0
+                        and self._inflight == 0
+                    ):
+                        return
+                    await cond.wait()
+                models = self._routable_models(name)
+                earliest = min(
+                    self._queues[m][0].arrival_us for m in models
+                )
+                now_us = max(st.sim_free_at_us, earliest)
+                if (
+                    self.mode == "sim" and st.crashes
+                    and st.crashes[0] <= now_us
+                ):
+                    # Dies at the scripted instant, before taking work.
+                    self._crash_locked(
+                        st, st.crashes.popleft(), [], None, generation
+                    )
+                    return
+                if self.mode == "sim":
+                    self._apply_corruptions_locked(now_us)
+                # FIFO across this worker's routed queues: serve the
+                # earliest arrived-by-now head (name breaks ties).
+                model = min(
+                    (
+                        m for m in models
+                        if self._queues[m][0].arrival_us <= now_us
+                    ),
+                    key=lambda m: (self._queues[m][0].arrival_us, m),
+                )
+                queue = self._queues[model]
+                depth = 0
+                for r in queue:
+                    if r.arrival_us > now_us:
+                        break
+                    depth += 1
+                # Largest candidate the arrived-by-now backlog fills
+                # (batch 1 is always a candidate, and depth >= 1).
+                take = max(
+                    b for b in self.candidate_batches if b <= depth
+                )
+                batch = [queue.popleft() for _ in range(take)]
+                fresh = [r for r in batch if r.attempts == 0]
+                if fresh:
+                    # Retried requests committed their dispatch order
+                    # the first time; only fresh arrivals advance the
+                    # reorder watermark.
+                    self.metrics.record_dispatch(
+                        model,
+                        fresh[0].arrival_us,
+                        fresh[-1].arrival_us,
+                    )
+                for r in batch:
+                    r.attempts += 1
+                self._inflight += len(batch)
+
+            # ----- execute outside the lock ---------------------------
+            if self.mode == "sim":
+                await self._execute_sim(
+                    st, generation, model, batch, take, depth, now_us
+                )
+            else:
+                await self._execute_process(
+                    st, generation, model, batch, take, depth, now_us
+                )
+
+    async def _execute_sim(
+        self, st, generation, model, batch, batch_size, depth, now_us
+    ) -> None:
+        engine = self._engines[model]
+        shape = self.specs[model].input_shape
+        # Warm by prewarm; total_us is a pure cache read here.
+        service_us = self.plan_cache.total_us(engine, batch_size, shape)
+        service_us *= self.faults.slow_factor(st.name, now_us)
+        unit_us = self.plan_cache.total_us(engine, 1, shape)
+        finish_us = now_us + service_us
+        if st.crashes and st.crashes[0] < finish_us:
+            # Mid-batch crash: the batch dies with the worker and fails
+            # over; anything the worker "computed" is lost.
+            at = None
+            async with self._cond:
+                if st.crashes and st.crashes[0] < finish_us:
+                    at = st.crashes.popleft()
+                    self._crash_locked(
+                        st, at, batch, model, generation
+                    )
+            if at is not None:
+                return
+        await asyncio.sleep(0)  # yield: interleave like the server does
+        payloads = {
+            r.request_id: result_payload(
+                model, self.backend, self.device, unit_us, r.request_id
+            )
+            for r in batch
+        }
+        await self._complete(
+            st, model, batch, batch_size, depth,
+            now_us, finish_us, service_us, payloads,
+        )
+
+    async def _execute_process(
+        self, st, generation, model, batch, batch_size, depth, now_us
+    ) -> None:
+        transport = st.transport
+        if transport is None:
+            async with self._cond:
+                self._crash_locked(
+                    st, now_us, batch, model, generation
+                )
+            return
+        try:
+            reply = await transport.call({
+                "type": "batch",
+                "model": model,
+                "batch_size": batch_size,
+                "requests": [r.request_id for r in batch],
+            })
+        except WorkerCrashed:
+            async with self._cond:
+                self._crash_locked(
+                    st, self._sim_now_us, batch, model, generation
+                )
+            return
+        if reply.get("type") == "error":
+            # Deterministic serving error (bad model state, pricing
+            # bug): retrying elsewhere would fail identically, so fail
+            # the futures rather than bouncing the batch around.
+            exc = ClusterError(
+                f"worker {st.name} failed batch for {model!r}: "
+                f"{reply.get('message')}"
+            )
+            async with self._cond:
+                self._inflight -= len(batch)
+                self._cond.notify_all()
+            for r in batch:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            return
+        service_us = float(reply["service_us"])
+        finish_us = now_us + service_us
+        payloads = {
+            int(r["request_id"]): r["payload"]
+            for r in reply["results"]
+        }
+        await self._complete(
+            st, model, batch, batch_size, depth,
+            now_us, finish_us, service_us, payloads,
+        )
+
+    async def _complete(
+        self, st, model, batch, batch_size, depth,
+        start_us, finish_us, service_us, payloads,
+    ) -> None:
+        """Resolve one served batch (metrics, tracing, exactly-once)."""
+        results = [
+            ClusterResult(
+                request_id=r.request_id,
+                model=model,
+                worker=st.name,
+                attempts=r.attempts,
+                batch_size=batch_size,
+                batch_requests=len(batch),
+                arrival_us=r.arrival_us,
+                start_us=start_us,
+                finish_us=finish_us,
+                payload=payloads[r.request_id],
+            )
+            for r in batch
+        ]
+        async with self._cond:
+            st.sim_free_at_us = finish_us
+            self._sim_now_us = max(self._sim_now_us, finish_us)
+            self._last_finish_us = max(self._last_finish_us, finish_us)
+            self._inflight -= len(batch)
+            self.metrics.record_batch(
+                st.name,
+                batch_size=batch_size,
+                requests=len(batch),
+                queue_depth=depth,
+                service_us=service_us,
+                request_latencies_us=[
+                    res.latency_us for res in results
+                ],
+                meets_slo=True,
+            )
+            self._cond.notify_all()
+        if self.tracer.enabled:
+            self._trace_batch(
+                st.name, model, batch_size, depth,
+                start_us, finish_us, results,
+            )
+        for r, res in zip(batch, results):
+            if not r.future.done():
+                # Exactly-once: the future is the single completion
+                # point, and only the batch that actually finished
+                # reaches here holding its requests.
+                r.future.set_result(res)
+
+    # ------------------------------------------------------------------
+    def _trace_batch(
+        self, worker, model, batch_size, depth, start_us, finish_us,
+        results,
+    ) -> None:
+        batch_id = self.tracer.span(
+            f"batch:{model}", "batch", start_us, finish_us,
+            lane=worker, model=model, worker=worker,
+            batch_size=batch_size, requests=len(results),
+            queue_depth=depth,
+            retried=any(res.attempts > 1 for res in results),
+        )
+        for res in results:
+            req_span = self.tracer.span(
+                f"request:{res.request_id}", "request",
+                res.arrival_us, res.finish_us, lane=res.model,
+                request_id=res.request_id, model=res.model,
+                worker=worker, attempts=res.attempts,
+                batch_span=batch_id,
+            )
+            self.tracer.span(
+                "queue", "queue", res.arrival_us, res.start_us,
+                parent_id=req_span, lane=res.model,
+            )
+            self.tracer.span(
+                "execute", "dispatch", res.start_us, res.finish_us,
+                parent_id=req_span, lane=res.model, batch_span=batch_id,
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI entry: `python -m repro.serve.cluster --worker`
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.cluster",
+        description="Cluster worker process (spawned by the coordinator; "
+                    "speaks length-prefixed JSON frames on stdin/stdout).",
+    )
+    parser.add_argument(
+        "--worker", action="store_true",
+        help="run as a worker subprocess (the only supported mode)",
+    )
+    args = parser.parse_args(argv)
+    if not args.worker:
+        parser.error("pass --worker (coordinators are created in-process)")
+    return _worker_main()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Length-prefixed JSON message framing for cluster worker processes.
+
+The multi-process serving layer (:mod:`repro.serve.cluster`) talks to
+its worker subprocesses over ordinary pipes: every message is one JSON
+object encoded as UTF-8 and prefixed with a 4-byte big-endian length.
+Pipes preserve byte order and the prefix delimits records, so the
+protocol needs no sentinels, no line discipline, and no escaping -- a
+partially written frame (worker killed mid-send) surfaces as a
+:class:`FrameError` or a clean EOF at the reader, never as a garbled
+successor message.
+
+JSON payloads are rendered **canonically** (sorted keys, minimal
+separators) via :func:`canonical_json`.  The cluster's exactly-once and
+failover tests compare result payloads *byte for byte* across replicas
+and across retries, which only works when two processes serializing the
+same logical result always produce identical bytes.
+
+Both blocking (worker-side: stdin/stdout of a plain subprocess) and
+asyncio (coordinator-side: :class:`asyncio.StreamReader` /
+``StreamWriter`` from ``create_subprocess_exec``) variants are provided
+over the same frame format.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+__all__ = [
+    "IPC_SCHEMA_VERSION",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "canonical_json",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "read_frame_async",
+    "write_frame_async",
+]
+
+#: Stamped into every ``hello`` message; a worker refuses to serve a
+#: coordinator speaking a different protocol revision.
+IPC_SCHEMA_VERSION = 1
+
+#: Upper bound on one frame's payload.  Far above any real cluster
+#: message (requests and results are small JSON objects); its job is to
+#: turn a corrupt or desynchronized length prefix into a loud
+#: :class:`FrameError` instead of a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(RuntimeError):
+    """A frame that cannot be parsed: torn write, oversize, bad JSON."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN.
+
+    Two processes serializing equal objects produce identical bytes --
+    the property the cluster's byte-identical-results invariant rests
+    on.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One wire frame: 4-byte big-endian length + canonical JSON."""
+    payload = canonical_json(message).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse one frame's payload back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length prefix {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); stream is corrupt or desynchronized"
+        )
+
+
+# ----------------------------------------------------------------------
+# blocking (worker subprocess side)
+# ----------------------------------------------------------------------
+def _read_exact(stream: BinaryIO, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary.
+
+    EOF *inside* a frame (the peer died mid-write) is a
+    :class:`FrameError` -- the stream cannot be resynchronized.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise FrameError(
+                f"EOF after {n - remaining}/{n} bytes of a frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message from a blocking stream; ``None`` on clean EOF."""
+    header = _read_exact(stream, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    payload = _read_exact(stream, length)
+    if payload is None:
+        raise FrameError("EOF between a frame's header and payload")
+    return decode_payload(payload)
+
+
+def write_frame(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one message to a blocking stream and flush it."""
+    stream.write(encode_frame(message))
+    stream.flush()
+
+
+# ----------------------------------------------------------------------
+# asyncio (coordinator side)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader) -> dict[str, Any] | None:
+    """Read one message from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF (worker exited between frames);
+    raises :class:`FrameError` on a torn frame (worker killed
+    mid-write).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"EOF inside a frame header ({len(exc.partial)} bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"EOF after {len(exc.partial)}/{length} payload bytes"
+        ) from exc
+    return decode_payload(payload)
+
+
+async def write_frame_async(writer, message: dict[str, Any]) -> None:
+    """Write one message to an :class:`asyncio.StreamWriter` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -27,6 +27,10 @@ The registry aggregates:
   pipeline-stage service counters, rebalance counters, and two
   invariant guards -- ``dropped_requests`` and ``reordered_dispatches``
   -- that must stay zero through any number of placement swaps;
+* fault-tolerance counters from the multi-process cluster layer
+  (:mod:`repro.serve.cluster`): request retries, batch failovers,
+  per-worker crash / restart / heartbeat-timeout tallies, and damaged
+  plan-store lines recovered at load;
 * plan-cache (incl. persistence) and autotune-cache hit rates, pulled
   in at report time.
 """
@@ -55,9 +59,11 @@ __all__ = [
 #: Version stamped into every :meth:`ServerMetrics.snapshot` so report
 #: tooling can detect shape drift instead of mis-keying silently.  The
 #: unstamped pre-observability shape counts as version 1; version 2
-#: added the stamp itself plus the queue high-water mark.  Bump on any
-#: key addition, removal, or meaning change.
-METRICS_SCHEMA_VERSION = 2
+#: added the stamp itself plus the queue high-water mark; version 3
+#: added the multi-process fault-tolerance counters (retries,
+#: failovers, worker crashes/restarts, heartbeat timeouts, recovered
+#: store lines).  Bump on any key addition, removal, or meaning change.
+METRICS_SCHEMA_VERSION = 3
 
 #: Sliding-window length for per-request latency percentiles.
 DEFAULT_LATENCY_WINDOW = 10_000
@@ -191,6 +197,17 @@ class ServerMetrics:
         #: placement swaps (CI fails the placement experiment otherwise).
         self.dropped_requests: int = 0
         self.reordered_dispatches: int = 0
+        #: Fault-tolerance counters (the multi-process cluster layer):
+        #: request re-dispatches after a worker failure, batches failed
+        #: over to a surviving replica, per-worker crash / restart
+        #: tallies, heartbeat timeouts that declared a worker dead, and
+        #: damaged plan-store lines skipped at load.
+        self.retries: int = 0
+        self.failovers: int = 0
+        self.worker_crashes: dict[str, int] = {}
+        self.worker_restarts: dict[str, int] = {}
+        self.heartbeat_timeouts: dict[str, int] = {}
+        self.store_recovered_lines: int = 0
         #: Highest dispatched arrival stamp per model (reorder guard).
         self._dispatch_watermark: dict[str, float] = {}
         self._autotune_baseline: AutotuneCacheStats | None = None
@@ -317,6 +334,48 @@ class ServerMetrics:
         """Requests left unresolved at drain -- must never happen."""
         self.dropped_requests += count
 
+    # ------------------------------------------------------------------
+    # fault tolerance (the multi-process cluster layer)
+    # ------------------------------------------------------------------
+    def record_failover(self, worker: str, requests: int) -> None:
+        """One lost batch re-routed off ``worker``: ``requests`` of its
+        in-flight requests were requeued for retry on a surviving
+        replica (each counts one retry)."""
+        self.failovers += 1
+        self.retries += requests
+
+    def record_worker_crash(self, worker: str) -> None:
+        """One worker process (or simulated worker) found dead."""
+        self.worker_crashes[worker] = self.worker_crashes.get(worker, 0) + 1
+
+    def record_worker_restart(self, worker: str) -> None:
+        """One crashed worker respawned by the coordinator."""
+        self.worker_restarts[worker] = (
+            self.worker_restarts.get(worker, 0) + 1
+        )
+
+    def record_heartbeat_timeout(self, worker: str) -> None:
+        """One worker declared dead by heartbeat timeout (not EOF)."""
+        self.heartbeat_timeouts[worker] = (
+            self.heartbeat_timeouts.get(worker, 0) + 1
+        )
+
+    def record_store_recovery(self, lines: int) -> None:
+        """Damaged plan-store lines skipped (and survived) at load."""
+        self.store_recovered_lines += lines
+
+    @property
+    def total_worker_crashes(self) -> int:
+        return sum(self.worker_crashes.values())
+
+    @property
+    def total_worker_restarts(self) -> int:
+        return sum(self.worker_restarts.values())
+
+    @property
+    def total_heartbeat_timeouts(self) -> int:
+        return sum(self.heartbeat_timeouts.values())
+
     @property
     def total_rejected(self) -> int:
         return sum(self.rejected.values())
@@ -362,6 +421,12 @@ class ServerMetrics:
             "stage_batches": self.total_stage_batches,
             "dropped_requests": self.dropped_requests,
             "reordered_dispatches": self.reordered_dispatches,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "worker_crashes": self.total_worker_crashes,
+            "worker_restarts": self.total_worker_restarts,
+            "heartbeat_timeouts": self.total_heartbeat_timeouts,
+            "store_recovered_lines": self.store_recovered_lines,
             "autotune_hits": self.autotune_stats().hits,
         }
 
@@ -492,6 +557,13 @@ class ServerMetrics:
                 f"{m}x{n}" for m, n in sorted(self.replica_counts.items())
             )
             lines.append(f"replicas        : {gauge}")
+        lines.append(
+            f"fault tolerance : {self.total_worker_crashes} crashes "
+            f"({self.total_heartbeat_timeouts} by heartbeat), "
+            f"{self.total_worker_restarts} restarts, "
+            f"{self.failovers} failovers, {self.retries} retries, "
+            f"{self.store_recovered_lines} recovered store lines"
+        )
         for key in sorted(self.stages):
             s = self.stages[key]
             lines.append(

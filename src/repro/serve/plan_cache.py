@@ -153,6 +153,8 @@ class PlanCacheStats:
     * ``persisted_entries`` -- plans loaded from the store at
       construction; ``persisted_hits`` -- lookups those plans served.
     * ``compile_us`` -- total wall-clock microseconds spent compiling.
+    * ``store_recovered_lines`` -- damaged store lines (torn appends,
+      corrupt bytes) the construction-time load skipped and survived.
     """
 
     hits: int
@@ -165,6 +167,7 @@ class PlanCacheStats:
     persisted_entries: int = 0
     persisted_hits: int = 0
     compile_us: float = 0.0
+    store_recovered_lines: int = 0
 
     @property
     def lookups(self) -> int:
@@ -187,9 +190,15 @@ class PlanCacheStore:
     appends on every miss and loads the whole file on construction, so a
     restarted server starts with yesterday's plans already warm.  Loading
     is defensive: records whose schema version differs from
-    :data:`STORE_SCHEMA_VERSION`, truncated lines, and malformed JSON are
-    all skipped (a stale or damaged cache degrades to recompilation, never
-    to a corrupt plan).  Duplicate keys keep the newest record.
+    :data:`STORE_SCHEMA_VERSION`, truncated lines, malformed JSON, and
+    undecodable bytes are all skipped (a stale or damaged cache degrades
+    to recompilation, never to a corrupt plan).  Damage is the expected
+    failure mode of this file -- a worker killed mid-append leaves a
+    truncated trailing line, and concurrent multi-process appends can
+    tear -- so every *damaged* line skipped by the most recent
+    :meth:`load` is counted in :attr:`recovered_lines` (stale-but-intact
+    schema versions are a planned migration path, not damage, and are
+    not counted).  Duplicate keys keep the newest record.
     """
 
     def __init__(
@@ -197,30 +206,48 @@ class PlanCacheStore:
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.path = self.cache_dir / filename
+        #: Damaged lines the most recent :meth:`load` skipped (torn
+        #: appends, corrupt bytes); the metrics layer surfaces this as
+        #: ``store_recovered_lines``.
+        self.recovered_lines = 0
 
     def load(self) -> OrderedDict[PlanKey, tuple[CompiledPlan, float]]:
         """Every valid persisted record, oldest first (last write wins)."""
         entries: OrderedDict[PlanKey, tuple[CompiledPlan, float]] = (
             OrderedDict()
         )
+        recovered = 0
         if not self.path.exists():
+            self.recovered_lines = 0
             return entries
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
+        # Binary read: a corrupt line with invalid UTF-8 must damage only
+        # itself, not raise out of the file iterator and take the whole
+        # (otherwise intact) store down with it.
+        with self.path.open("rb") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
                     continue
                 try:
-                    record = json.loads(line)
-                    if record.get("version") != STORE_SCHEMA_VERSION:
-                        continue
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    recovered += 1  # torn append / corrupt bytes
+                    continue
+                if not isinstance(record, dict):
+                    recovered += 1
+                    continue
+                if record.get("version") != STORE_SCHEMA_VERSION:
+                    continue  # planned schema migration, not damage
+                try:
                     key = PlanKey.from_dict(record["key"])
                     plan = CompiledPlan.from_dict(record["plan"])
                     total = float(record["total_us"])
                 except (KeyError, TypeError, ValueError):
-                    continue  # stale schema / truncated write: recompile
+                    recovered += 1  # structurally damaged record
+                    continue
                 entries[key] = (plan, total)
                 entries.move_to_end(key)
+        self.recovered_lines = recovered
         return entries
 
     def append(
@@ -294,6 +321,7 @@ class PlanCache:
         self._persisted_entries = 0
         self._persisted_hits = 0
         self._compile_us = 0.0
+        self._store_recovered_lines = 0
         if store is not None:
             for key, entry in store.load().items():
                 self._plans[key] = entry
@@ -302,6 +330,7 @@ class PlanCache:
                 evicted, _ = self._plans.popitem(last=False)
                 self._persisted.discard(evicted)
             self._persisted_entries = len(self._persisted)
+            self._store_recovered_lines = store.recovered_lines
 
     # ------------------------------------------------------------------
     def key_for(
@@ -538,6 +567,7 @@ class PlanCache:
             persisted_entries=self._persisted_entries,
             persisted_hits=self._persisted_hits,
             compile_us=self._compile_us,
+            store_recovered_lines=self._store_recovered_lines,
         )
 
     def clear(self) -> None:
@@ -548,3 +578,4 @@ class PlanCache:
         self._compiles = self._inloop_compiles = self._coalesced = 0
         self._persisted_entries = self._persisted_hits = 0
         self._compile_us = 0.0
+        self._store_recovered_lines = 0

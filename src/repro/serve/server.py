@@ -310,6 +310,12 @@ class InferenceServer:
             # default to the null tracer, so only a traced server pays.
             self.plan_cache.tracer = self.tracer
         self.metrics = ServerMetrics()
+        # A store built here just loaded; surface any damaged lines it
+        # skipped (crash-during-append debris) in this server's metrics.
+        if cache_dir is not None:
+            self.metrics.record_store_recovery(
+                self.plan_cache.stats().store_recovered_lines
+            )
         self.discipline = make_discipline(discipline)
         self.admission = admission
         self.autoswitch = autoswitch

@@ -57,7 +57,7 @@ class TestRunner:
             "table1", "table2", "table3", "table4",
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "ablations", "serving", "scheduling", "warmup",
-            "placement",
+            "placement", "faults",
         }
         assert set(EXPERIMENTS) == expected
 

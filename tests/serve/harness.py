@@ -53,7 +53,12 @@ from repro.nn import APNNBackend, alexnet, resnet18
 from repro.nn.module import Sequential
 from repro.obs import Span, Tracer
 from repro.serve import (
+    ClusterCoordinator,
+    ClusterPolicy,
+    ClusterResult,
+    FaultPlan,
     InferenceServer,
+    ModelSpec,
     PlacementDecision,
     PlacementPolicy,
     PlanCache,
@@ -379,3 +384,112 @@ def run_trace(
 
     results, rejections = asyncio.run(_run())
     return HarnessRun(server=server, results=results, rejections=rejections)
+
+
+# ----------------------------------------------------------------------
+# multi-process cluster (fault-tolerance tests)
+# ----------------------------------------------------------------------
+def cluster_specs(
+    hot: tuple[str, ...] = CLUSTER_HOT,
+    cold: tuple[str, ...] = CLUSTER_COLD,
+) -> dict[str, ModelSpec]:
+    """The cluster population as *serializable* specs.
+
+    Same names, seeds, architecture and input geometry as
+    :func:`hot_cold_models`, but as :class:`ModelSpec` data -- the form
+    worker subprocesses can rebuild from, and the only form
+    :class:`ClusterCoordinator` accepts.
+    """
+    return {
+        name: ModelSpec(
+            kind="micro", name=name, seed=seed,
+            input_shape=CLUSTER_INPUT_SHAPE,
+        )
+        for seed, name in enumerate(hot + cold)
+    }
+
+
+def make_fault_cluster(
+    models: dict[str, ModelSpec] | None = None,
+    *,
+    num_workers: int = CLUSTER_WORKERS,
+    mode: str = "sim",
+    faults: FaultPlan | None = None,
+    policy: ClusterPolicy | None = None,
+    **kwargs,
+) -> ClusterCoordinator:
+    """A coordinator over the standard population (sim by default).
+
+    ``mode="process"`` spawns real worker subprocesses -- mark such
+    tests ``slow``.  Restart delay defaults small so scripted crash /
+    restart sequences fit inside short test traces.
+    """
+    kwargs.setdefault("candidate_batches", CLUSTER_BATCHES)
+    return ClusterCoordinator(
+        models if models is not None else cluster_specs(),
+        num_workers,
+        mode=mode,
+        faults=faults,
+        policy=(
+            policy if policy is not None
+            else ClusterPolicy(restart_delay_us=500.0)
+        ),
+        **kwargs,
+    )
+
+
+@dataclass
+class ClusterRun:
+    """One cluster run plus the fault-tolerance assertion helpers."""
+
+    cluster: ClusterCoordinator
+    results: list[ClusterResult]
+
+    def payloads(self) -> list[str]:
+        """Result bodies, sorted -- the byte-identity comparison key."""
+        return sorted(r.payload for r in self.results)
+
+    def results_for(self, model: str) -> list[ClusterResult]:
+        return [r for r in self.results if r.model == model]
+
+    def retried(self) -> list[ClusterResult]:
+        return [r for r in self.results if r.attempts > 1]
+
+    def latencies_us(self) -> list[float]:
+        return [r.latency_us for r in self.results]
+
+    def assert_invariants(self, expected_requests: int) -> None:
+        """The cluster's zero-tolerance guarantees, in one place.
+
+        Every submitted request completed exactly once (unique ids, no
+        drops) and dispatch order never violated arrival order -- the
+        same invariants the placement tests pin, now required to hold
+        through any fault schedule.
+        """
+        assert len(self.results) == expected_requests, (
+            len(self.results), expected_requests
+        )
+        ids = [r.request_id for r in self.results]
+        assert len(set(ids)) == len(ids), "a request completed twice"
+        m = self.cluster.metrics
+        assert m.dropped_requests == 0, m.dropped_requests
+        assert m.reordered_dispatches == 0, m.reordered_dispatches
+        assert m.total_requests == expected_requests, (
+            m.total_requests, expected_requests
+        )
+
+
+def run_cluster_trace(
+    cluster: ClusterCoordinator,
+    trace: tuple[TraceEvent, ...] | list[TraceEvent],
+) -> ClusterRun:
+    """Start, replay, stop a cluster (replay() is duck-typed over
+    ``submit``/``time_scale``, so the server's replayer drives it)."""
+
+    async def _run():
+        await cluster.start()
+        results = await replay(cluster, trace)
+        await cluster.stop()
+        return results
+
+    return ClusterRun(cluster=cluster, results=asyncio.run(_run()))

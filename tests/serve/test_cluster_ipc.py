@@ -1,0 +1,141 @@
+"""The length-prefixed JSON frame protocol (``repro.serve.ipc``).
+
+The cluster's failure semantics lean on the framing layer drawing one
+sharp line: a peer that exits *between* frames is a clean EOF
+(``None``), while a peer killed *mid-write* -- the kill -9 case the
+subprocess suite exercises for real -- is a :class:`FrameError`.  And
+byte-identical-results comparisons only work because
+:func:`canonical_json` renders equal objects to equal bytes regardless
+of insertion order or which process did the encoding.
+"""
+
+import asyncio
+import io
+import struct
+
+import pytest
+
+from repro.serve import (
+    FrameError,
+    canonical_json,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.ipc import MAX_FRAME_BYTES, read_frame_async
+
+pytestmark = pytest.mark.serving
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        a = canonical_json({"b": 1, "a": {"y": 2, "x": 3}})
+        b = canonical_json({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+
+    def test_minimal_separators(self):
+        assert canonical_json({"a": [1, 2], "b": "c"}) == '{"a":[1,2],"b":"c"}'
+
+    def test_nan_is_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestFrameRoundTrip:
+    def test_roundtrip_single(self):
+        msg = {"type": "batch", "requests": [{"id": 3}], "model": "hot-0"}
+        buf = io.BytesIO()
+        write_frame(buf, msg)
+        buf.seek(0)
+        assert read_frame(buf) == msg
+
+    def test_roundtrip_many_back_to_back(self):
+        msgs = [{"seq": i, "payload": "x" * i} for i in range(20)]
+        buf = io.BytesIO()
+        for m in msgs:
+            write_frame(buf, m)
+        buf.seek(0)
+        assert [read_frame(buf) for _ in msgs] == msgs
+        assert read_frame(buf) is None  # then clean EOF
+
+    def test_frame_bytes_are_length_prefixed_canonical_json(self):
+        frame = encode_frame({"b": 1, "a": 2})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert frame[4:].decode() == '{"a":2,"b":1}'
+        assert length == len(frame) - 4
+
+    def test_empty_stream_is_clean_eof(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+
+class TestTornFrames:
+    """EOF inside a frame is corruption, never a silent end-of-stream."""
+
+    def _frame(self):
+        return encode_frame({"type": "pong", "data": "payload-bytes"})
+
+    def test_eof_inside_header(self):
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(self._frame()[:2]))
+
+    def test_eof_between_header_and_payload(self):
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(self._frame()[:4]))
+
+    def test_eof_inside_payload(self):
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(self._frame()[:-5]))
+
+    def test_oversize_length_prefix(self):
+        junk = struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x"
+        with pytest.raises(FrameError, match="MAX_FRAME_BYTES"):
+            read_frame(io.BytesIO(junk))
+
+    def test_oversize_message_rejected_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1,2,3]"
+        buf = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError, match="JSON object"):
+            read_frame(buf)
+
+    def test_undecodable_payload_rejected(self):
+        assert pytest.raises(FrameError, decode_payload, b"\xff\xfe{")
+        assert pytest.raises(FrameError, decode_payload, b"{not json")
+
+
+class TestAsyncReader:
+    """The coordinator-side reader draws the same EOF/torn line."""
+
+    def _feed(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_roundtrip(self):
+        async def run():
+            msg = {"type": "ready", "pid": 123}
+            return await read_frame_async(self._feed(encode_frame(msg)))
+        assert asyncio.run(run()) == {"type": "ready", "pid": 123}
+
+    def test_clean_eof(self):
+        async def run():
+            return await read_frame_async(self._feed(b""))
+        assert asyncio.run(run()) is None
+
+    def test_torn_header(self):
+        async def run():
+            await read_frame_async(self._feed(b"\x00\x00"))
+        with pytest.raises(FrameError):
+            asyncio.run(run())
+
+    def test_torn_payload(self):
+        async def run():
+            frame = encode_frame({"type": "pong"})
+            await read_frame_async(self._feed(frame[:-3]))
+        with pytest.raises(FrameError):
+            asyncio.run(run())

@@ -1,0 +1,379 @@
+"""Deterministic fault injection against the simulated cluster.
+
+Every failure mode the multi-process coordinator handles -- worker
+crash (idle, pre-dispatch, mid-batch), slow worker, plan-store
+corruption -- is scripted here as a :class:`FaultPlan` at exact
+simulated instants, so each scenario replays bit-identically with no
+wall-clock sleeps.  The invariants under *every* schedule:
+
+* every submitted request completes exactly once (no drops, no dupes);
+* results are byte-identical to the fault-free run of the same trace
+  (failover may change *where* and *when* a request ran, never *what*
+  it returned);
+* ``reordered_dispatches`` stays zero -- failover requeues at the head,
+  so retried work cannot overtake earlier arrivals.
+
+The ``slow``-marked subprocess suite (``test_cluster_subprocess.py``)
+re-asserts the same invariants against real killed processes; this file
+is the exhaustive, fast source of truth.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    ClusterError,
+    ClusterPolicy,
+    FaultEvent,
+    FaultPlan,
+    poisson_trace,
+)
+
+from harness import (
+    RecordingTracer,
+    cluster_specs,
+    make_fault_cluster,
+    run_cluster_trace,
+)
+
+pytestmark = pytest.mark.serving
+
+#: Three models keep plan prewarm cheap while still exercising
+#: cross-model FIFO routing; the high rate packs all arrivals into a
+#: ~200 us window so batches coalesce and crashes land mid-batch.
+MODELS = {k: v for k, v in list(cluster_specs().items())[:3]}
+TRACE = poisson_trace(
+    models=list(MODELS), num_requests=24, rate_rps=120_000, seed=3
+)
+N = len(TRACE)
+
+#: A crash instant inside the busy window of TRACE (fault-free run
+#: finishes near 190 us on the simulated clock).
+MID_BATCH_US = 50.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free run every scenario's payloads must match."""
+    run = run_cluster_trace(make_fault_cluster(MODELS, num_workers=2), TRACE)
+    run.assert_invariants(N)
+    return run
+
+
+class TestFaultFree:
+    def test_all_requests_complete_exactly_once(self, baseline):
+        assert len(baseline.results) == N
+        assert len({r.request_id for r in baseline.results}) == N
+        assert not baseline.retried()
+
+    def test_no_fault_counters_move(self, baseline):
+        m = baseline.cluster.metrics
+        assert m.total_worker_crashes == 0
+        assert m.total_worker_restarts == 0
+        assert m.failovers == 0
+        assert m.retries == 0
+        assert m.dropped_requests == 0
+
+    def test_batches_coalesce(self, baseline):
+        assert any(r.batch_size > 1 for r in baseline.results)
+
+
+class TestMidBatchCrash:
+    """The headline scenario: a worker dies with a batch in flight."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        faults = FaultPlan.of(FaultPlan.crash("worker-0", MID_BATCH_US))
+        run = run_cluster_trace(
+            make_fault_cluster(MODELS, num_workers=2, faults=faults), TRACE
+        )
+        run.assert_invariants(N)
+        return run
+
+    def test_byte_identical_to_fault_free(self, run, baseline):
+        assert run.payloads() == baseline.payloads()
+
+    def test_crash_restart_failover_counted(self, run):
+        m = run.cluster.metrics
+        assert m.total_worker_crashes == 1
+        assert m.worker_crashes == {"worker-0": 1}
+        assert m.total_worker_restarts == 1
+        assert m.failovers >= 1
+        assert m.retries >= 1
+
+    def test_some_result_was_retried(self, run):
+        retried = run.retried()
+        assert retried
+        assert all(r.attempts == 2 for r in retried)
+
+    def test_failover_never_reorders(self, run):
+        assert run.cluster.metrics.reordered_dispatches == 0
+
+
+class TestCrashWithoutRestart:
+    """No restart budget: survivors adopt the dead worker's models."""
+
+    def test_survivor_serves_everything(self, baseline):
+        faults = FaultPlan.of(FaultPlan.crash("worker-0", MID_BATCH_US))
+        run = run_cluster_trace(
+            make_fault_cluster(
+                MODELS, num_workers=2, faults=faults,
+                policy=ClusterPolicy(restart_crashed=False),
+            ),
+            TRACE,
+        )
+        run.assert_invariants(N)
+        assert run.payloads() == baseline.payloads()
+        m = run.cluster.metrics
+        assert m.total_worker_crashes == 1
+        assert m.total_worker_restarts == 0
+        assert run.cluster.alive_workers() == ("worker-1",)
+        # Everything after the crash ran on the survivor.
+        assert all(
+            r.worker == "worker-1"
+            for r in run.results if r.start_us > MID_BATCH_US
+        )
+
+    def test_every_replica_dead_drops_loudly(self):
+        """A single worker crashing with no restart budget cannot
+        complete the backlog: stop() fails the stranded futures with
+        ClusterError and counts them dropped -- never a silent hang."""
+        faults = FaultPlan.of(FaultPlan.crash("worker-0", MID_BATCH_US))
+        cluster = make_fault_cluster(
+            MODELS, num_workers=1, faults=faults,
+            policy=ClusterPolicy(restart_crashed=False),
+        )
+
+        async def run():
+            await cluster.start()
+            outcomes = await asyncio.gather(
+                *(cluster.submit(e.model, arrival_us=e.t_us) for e in TRACE),
+                asyncio.ensure_future(_stop_soon(cluster)),
+                return_exceptions=True,
+            )
+            return outcomes[:-1]
+
+        async def _stop_soon(cluster):
+            # Let the loop run the crash to completion, then drain.
+            for _ in range(200):
+                await asyncio.sleep(0)
+            await cluster.stop()
+
+        outcomes = asyncio.run(run())
+        errors = [o for o in outcomes if isinstance(o, ClusterError)]
+        assert errors, "stranded requests must fail, not hang"
+        m = cluster.metrics
+        assert m.dropped_requests == len(errors)
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert len(served) + len(errors) == N
+
+
+class TestRetryBudget:
+    def test_repeated_crashes_exhaust_max_attempts(self, baseline):
+        """Crash the same worker's replacement over and over: requests
+        retry up to ``max_attempts`` and still complete on the other
+        worker, byte-identically."""
+        faults = FaultPlan.of(
+            FaultPlan.crash("worker-0", 30.0),
+            FaultPlan.crash("worker-0", 60.0),
+            FaultPlan.crash("worker-0", 90.0),
+        )
+        run = run_cluster_trace(
+            make_fault_cluster(
+                MODELS, num_workers=2, faults=faults,
+                policy=ClusterPolicy(
+                    max_attempts=4, max_restarts=3, restart_delay_us=5.0
+                ),
+            ),
+            TRACE,
+        )
+        run.assert_invariants(N)
+        assert run.payloads() == baseline.payloads()
+        m = run.cluster.metrics
+        assert m.total_worker_crashes >= 2
+        assert max(r.attempts for r in run.results) <= 4
+
+
+class TestSlowWorker:
+    def test_slowdown_changes_timing_not_results(self, baseline):
+        faults = FaultPlan.of(FaultPlan.slow("worker-0", 0.0, factor=50.0))
+        run = run_cluster_trace(
+            make_fault_cluster(MODELS, num_workers=2, faults=faults), TRACE
+        )
+        run.assert_invariants(N)
+        assert run.payloads() == baseline.payloads()
+        slow_services = [
+            r.service_us for r in run.results if r.worker == "worker-0"
+        ]
+        assert slow_services, "worker-0 should still take work"
+        base_max = max(r.service_us for r in baseline.results)
+        assert min(slow_services) > base_max
+
+    def test_latest_slow_event_wins(self):
+        plan = FaultPlan.of(
+            FaultPlan.slow("w", 0.0, factor=10.0),
+            FaultPlan.slow("w", 100.0, factor=1.0),
+        )
+        assert plan.slow_factor("w", 50.0) == 10.0
+        assert plan.slow_factor("w", 100.0) == 1.0
+        assert plan.slow_factor("other", 50.0) == 1.0
+
+
+class TestStoreCorruption:
+    def test_corruption_recovered_and_counted(self, baseline, tmp_path):
+        faults = FaultPlan.of(FaultPlan.corrupt_store(MID_BATCH_US))
+        run = run_cluster_trace(
+            make_fault_cluster(
+                MODELS, num_workers=2, faults=faults,
+                cache_dir=tmp_path / "plans",
+            ),
+            TRACE,
+        )
+        run.assert_invariants(N)
+        assert run.payloads() == baseline.payloads()
+        assert run.cluster.metrics.store_recovered_lines == 1
+
+    def test_each_corruption_counts_once(self, tmp_path):
+        faults = FaultPlan.of(
+            FaultPlan.corrupt_store(30.0),
+            FaultPlan.corrupt_store(80.0),
+        )
+        run = run_cluster_trace(
+            make_fault_cluster(
+                MODELS, num_workers=2, faults=faults,
+                cache_dir=tmp_path / "plans",
+            ),
+            TRACE,
+        )
+        run.assert_invariants(N)
+        assert run.cluster.metrics.store_recovered_lines == 2
+
+
+class TestDeterminism:
+    def test_same_fault_plan_replays_bit_identically(self):
+        faults = FaultPlan.of(
+            FaultPlan.crash("worker-0", MID_BATCH_US),
+            FaultPlan.slow("worker-1", 0.0, factor=3.0),
+        )
+
+        def once():
+            run = run_cluster_trace(
+                make_fault_cluster(MODELS, num_workers=2, faults=faults),
+                TRACE,
+            )
+            run.assert_invariants(N)
+            m = run.cluster.metrics
+            return (
+                sorted((r.request_id, r.worker, r.finish_us, r.payload)
+                       for r in run.results),
+                (m.total_worker_crashes, m.total_worker_restarts,
+                 m.failovers, m.retries),
+            )
+
+        assert once() == once()
+
+
+class TestFailoverTracing:
+    """Crash / failover / restart instants land on the failover lane."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = RecordingTracer()
+        faults = FaultPlan.of(FaultPlan.crash("worker-0", MID_BATCH_US))
+        run = run_cluster_trace(
+            make_fault_cluster(
+                MODELS, num_workers=2, faults=faults, tracer=tracer
+            ),
+            TRACE,
+        )
+        run.assert_invariants(N)
+        return run, tracer
+
+    def test_failover_events_emitted(self, traced):
+        run, tracer = traced
+        events = tracer.events_in("failover")
+        names = [e.name for e in events]
+        assert "crash:worker-0" in names
+        assert "restart:worker-0" in names
+        assert any(n.startswith("failover:") for n in names)
+
+    def test_span_counts_agree_with_metrics(self, traced):
+        run, tracer = traced
+        m = run.cluster.metrics
+        counts = tracer.counts_by_phase()
+        # One request span per *completed* request -- exactly-once means
+        # retries never double-emit.
+        assert counts["request"] == N
+        assert counts["batch"] == m.total_batches
+        crash_events = [
+            e for e in tracer.events_in("failover")
+            if e.name.startswith("crash:")
+        ]
+        assert len(crash_events) == m.total_worker_crashes
+
+
+class TestGracefulDrain:
+    """stop() mid-batch finishes accepted work and keeps the books."""
+
+    @pytest.fixture(scope="class")
+    def drained(self):
+        tracer = RecordingTracer()
+        cluster = make_fault_cluster(MODELS, num_workers=2, tracer=tracer)
+
+        async def run():
+            await cluster.start()
+            futures = [
+                asyncio.ensure_future(
+                    cluster.submit(e.model, arrival_us=e.t_us)
+                )
+                for e in TRACE
+            ]
+            # Let every submit enqueue (stop() stops accepting new work
+            # immediately), then drain with batches still in flight.
+            while cluster.metrics.total_requests < N:
+                await asyncio.sleep(0)
+            await cluster.stop()
+            return await asyncio.gather(*futures)
+
+        return cluster, tracer, asyncio.run(run())
+
+    def test_all_in_flight_requests_complete(self, drained, baseline):
+        cluster, _, results = drained
+        assert len(results) == N
+        assert len({r.request_id for r in results}) == N
+        assert sorted(r.payload for r in results) == baseline.payloads()
+        assert cluster.metrics.dropped_requests == 0
+        assert cluster.queue_depth == 0
+
+    def test_metrics_snapshot_agrees_with_span_counts(self, drained):
+        """The snapshot's totals and the exported trace must tell the
+        same story -- a drain that dropped a span (or double-counted a
+        batch) shows up as a mismatch here."""
+        cluster, tracer, results = drained
+        snap = cluster.metrics.snapshot()
+        counts = tracer.counts_by_phase()
+        assert counts["request"] == snap["requests"] == N
+        assert counts["batch"] == snap["batches"]
+        assert counts.get("failover", 0) == 0  # fault-free drain
+        per_worker_batches = sum(
+            w.batches for w in cluster.metrics.workers.values()
+        )
+        assert per_worker_batches == counts["batch"]
+
+
+class TestValidation:
+    def test_fault_plan_rejected_in_process_mode(self):
+        with pytest.raises(ValueError, match="simulated"):
+            make_fault_cluster(
+                MODELS, mode="process",
+                faults=FaultPlan.of(FaultPlan.crash("worker-0", 1.0)),
+            )
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="meteor", at_us=0.0)
+
+    def test_crash_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="crash", at_us=0.0, worker=None)

@@ -131,6 +131,7 @@ class TestStore:
         store = PlanCacheStore(tmp_path / "never-written")
         assert store.load() == {}
         assert len(store) == 0
+        assert store.recovered_lines == 0
 
     def test_append_on_miss_only(self, engine, tmp_path):
         store = PlanCacheStore(tmp_path)
@@ -138,6 +139,79 @@ class TestStore:
         for _ in range(5):
             cache.total_us(engine, 8, SHAPE)  # 1 miss + 4 hits
         assert len(store.path.read_text().splitlines()) == 1
+
+    def test_truncated_trailing_line_is_recovered_and_counted(
+        self, engine, tmp_path
+    ):
+        """The crash-during-append shape: a torn JSON prefix at the end
+        of the file.  Load must keep every intact record, skip the torn
+        tail, and count exactly one recovered line."""
+        store = PlanCacheStore(tmp_path)
+        writer = PlanCache(store=store)
+        writer.total_us(engine, 4, SHAPE)
+        writer.total_us(engine, 8, SHAPE)
+        good = store.path.read_text()
+        torn = good.splitlines()[0]
+        store.path.write_text(good + torn[: len(torn) // 2] + "\n")
+        assert len(store.load()) == 2
+        assert store.recovered_lines == 1
+
+    def test_recovered_line_counts_per_damage_kind(self, engine, tmp_path):
+        store = PlanCacheStore(tmp_path)
+        writer = PlanCache(store=store)
+        writer.total_us(engine, 8, SHAPE)
+        good = store.path.read_text()
+        store.path.write_bytes(
+            b"\xff\xfe not utf-8 \xff\n"          # undecodable bytes
+            + b"[1, 2, 3]\n"                       # JSON, not an object
+            + json.dumps(
+                {"version": STORE_SCHEMA_VERSION, "key": {}}
+            ).encode() + b"\n"                     # structurally damaged
+            + good.encode()
+        )
+        assert len(store.load()) == 1
+        assert store.recovered_lines == 3
+
+    def test_stale_schema_is_migration_not_damage(self, engine, tmp_path):
+        """A version-mismatched record is a planned migration skip; it
+        must not inflate the recovery counter."""
+        store = PlanCacheStore(tmp_path)
+        writer = PlanCache(store=store)
+        writer.total_us(engine, 8, SHAPE)
+        record = json.loads(store.path.read_text().strip())
+        record["version"] = STORE_SCHEMA_VERSION + 1
+        store.path.write_text(json.dumps(record) + "\n")
+        assert store.load() == {}
+        assert store.recovered_lines == 0
+
+    def test_recovered_count_resets_per_load(self, engine, tmp_path):
+        store = PlanCacheStore(tmp_path)
+        writer = PlanCache(store=store)
+        writer.total_us(engine, 8, SHAPE)
+        good = store.path.read_text()
+        store.path.write_text(good + "torn {\n")
+        assert store.recovered_lines == 0  # stamped by load(), not write
+        store.load()
+        assert store.recovered_lines == 1
+        store.path.write_text(good)  # repaired on disk
+        store.load()
+        assert store.recovered_lines == 0
+
+    def test_cache_surfaces_recovery_in_stats(self, engine, tmp_path):
+        store = PlanCacheStore(tmp_path)
+        writer = PlanCache(store=store)
+        writer.total_us(engine, 8, SHAPE)
+        with store.path.open("a") as fh:
+            fh.write('{"version": 1, "key": {"model\n')
+        reader = PlanCache(store=PlanCacheStore(tmp_path))
+        stats = reader.stats()
+        assert stats.persisted_entries == 1
+        assert stats.store_recovered_lines == 1
+        # The surviving record still prices identically.
+        assert reader.total_us(engine, 8, SHAPE) == writer.total_us(
+            engine, 8, SHAPE
+        )
+        assert reader.stats().compiles == 0
 
     def test_duplicate_keys_keep_newest(self, engine, tmp_path):
         store = PlanCacheStore(tmp_path)
