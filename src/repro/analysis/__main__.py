@@ -1,0 +1,143 @@
+"""``python -m repro.analysis`` -- the project-invariant checker CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``--format json``
+emits the versioned report document (the CI artifact); ``--out`` tees
+it to a file while keeping the text summary on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import AnalysisConfig
+from .engine import Analyzer
+from .registry import registered_rules
+from .reporters import render_json, render_text
+from .rules.schema import write_baseline
+
+DEFAULT_PATHS = ["src", "tests"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static checker for this project's invariants: simulated-clock "
+            "determinism, async lock discipline, exception hygiene, and "
+            "metrics schema drift."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (for the CI artifact)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally report stale pragmas (suppressions whose rule "
+        "no longer fires on their line)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--update-schema-baseline",
+        action="store_true",
+        help="regenerate the committed metrics-schema baseline from the "
+        "current metrics module, then exit",
+    )
+    return parser
+
+
+def _split(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(t for t in raw.replace(",", " ").split() if t)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in registered_rules().items():
+            print(f"{name:22s} [{cls.category}] {cls.description}")
+        return 0
+
+    config = AnalysisConfig(
+        root=Path(args.root),
+        strict=args.strict,
+        select=_split(args.select),
+        ignore=_split(args.ignore) or frozenset(),
+    )
+
+    if args.update_schema_baseline:
+        try:
+            path = write_baseline(config)
+        except (OSError, SyntaxError) as exc:
+            print(f"error: cannot update baseline: {exc}", file=sys.stderr)
+            return 2
+        print(f"schema baseline written to {path}")
+        return 0
+
+    try:
+        analyzer = Analyzer(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # A typoed path must not silently analyze nothing and exit clean.
+    missing = [
+        str(p)
+        for p in args.paths
+        if not (Path(p) if Path(p).is_absolute() else config.root / p).exists()
+    ]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    result = analyzer.run(list(args.paths))
+
+    if args.out:
+        Path(args.out).write_text(render_json(result), encoding="utf-8")
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Analysis run configuration.
+
+One :class:`AnalysisConfig` parameterizes a whole run: the project root
+findings are reported relative to, rule selection, strictness, and the
+root-relative artifact paths the cross-artifact rules (schema drift)
+read.  Tests point these at synthetic trees; the CLI defaults match
+this repository's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["AnalysisConfig"]
+
+
+@dataclass
+class AnalysisConfig:
+    """Knobs of one analysis run.
+
+    ``select`` limits the run to the named rules (``None`` = all
+    registered); ``ignore`` drops rules from whatever ``select`` kept.
+    ``strict`` additionally reports stale pragmas (a suppression whose
+    rule no longer fires on its line).
+    """
+
+    root: Path = field(default_factory=Path.cwd)
+    strict: bool = False
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+
+    #: Root-relative inputs of the schema-drift rule.
+    schema_metrics: str = "src/repro/serve/metrics.py"
+    schema_readme: str = "README.md"
+    schema_baseline: str = "src/repro/analysis/schema_baseline.json"
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).resolve()
+
+    def wants(self, rule_name: str) -> bool:
+        """Is ``rule_name`` enabled under select/ignore?"""
+        if rule_name in self.ignore:
+            return False
+        return self.select is None or rule_name in self.select

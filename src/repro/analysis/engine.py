@@ -1,0 +1,354 @@
+"""The analysis engine: one AST walk per module, many rules per walk.
+
+The engine parses each target module once, collects its suppression
+pragmas, and drives a single recursive walk that dispatches every node
+to each applicable rule's ``visit_<NodeType>`` method.  Structural
+context the rules would otherwise each re-derive -- the enclosing
+function stack (is this ``await`` inside an ``async def``?) and the
+set of lock-ish context managers currently held (is it inside
+``async with self._cond:``?) -- is maintained by the walk itself and
+handed to every visitor as a shared :class:`WalkContext`.
+
+After the walk, pragma bookkeeping runs: findings whose line carries a
+matching ``# repro: allow-<rule>`` pragma are suppressed; malformed or
+unknown-rule pragmas become ``unknown-pragma`` findings (always --
+a typo must not silently fail to suppress); pragmas whose rule did not
+fire on their line become ``stale-pragma`` findings under ``--strict``.
+Finally the project rules (cross-artifact checks like schema drift)
+run over the whole module set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import AnalysisConfig
+from .findings import Finding
+from .pragmas import Pragma, collect_pragmas
+from .registry import ModuleRule, ProjectRule, registered_rules, visitor_for
+
+__all__ = [
+    "ModuleInfo",
+    "WalkContext",
+    "AnalysisResult",
+    "Analyzer",
+    "analyze",
+    "INTERNAL_RULES",
+]
+
+#: Pseudo-rules the engine itself emits.  They are not registered (you
+#: cannot select or pragma-suppress them): a broken pragma or an
+#: unparseable file must always be loud.
+INTERNAL_RULES = ("parse-error", "unknown-pragma", "stale-pragma")
+
+#: Context-manager expressions treated as locks for WalkContext.
+_LOCKISH_RE = re.compile(r"(?i)(lock|cond|mutex|sem)")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed target module plus its pragma table."""
+
+    path: Path  #: absolute
+    rel: str  #: root-relative POSIX path (the reporting key)
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, Pragma]
+
+
+@dataclass
+class _LockHold:
+    """One lock-ish context manager currently held by the walk."""
+
+    text: str  #: unparsed context expression (``self._cond``)
+    func_depth: int  #: function-stack depth it was acquired at
+    is_async: bool  #: ``async with`` (vs plain ``with``)
+
+
+@dataclass
+class WalkContext:
+    """Structural state shared by every rule during one module walk."""
+
+    func_stack: list[ast.AST] = field(default_factory=list)
+    _locks: list[_LockHold] = field(default_factory=list)
+
+    @property
+    def in_async_function(self) -> bool:
+        """Is the *nearest* enclosing function ``async def``?"""
+        return bool(self.func_stack) and isinstance(
+            self.func_stack[-1], ast.AsyncFunctionDef
+        )
+
+    def held_locks(self) -> list[_LockHold]:
+        """Locks acquired in the currently executing function frame.
+
+        A nested ``def`` *defined* inside a lock block does not run
+        while the lock is held, so only locks whose acquisition depth
+        matches the current function depth count as held.
+        """
+        depth = len(self.func_stack)
+        return [hold for hold in self._locks if hold.func_depth == depth]
+
+
+class Analyzer:
+    """Runs the registered rules over a set of paths."""
+
+    def __init__(self, config: AnalysisConfig | None = None) -> None:
+        self.config = config if config is not None else AnalysisConfig()
+        all_rules = registered_rules()
+        unknown = (
+            set() if self.config.select is None
+            else set(self.config.select) - set(all_rules)
+        ) | (set(self.config.ignore) - set(all_rules))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {sorted(unknown)}; "
+                f"registered: {sorted(all_rules)}"
+            )
+        self.rule_classes = {
+            name: cls for name, cls in all_rules.items()
+            if self.config.wants(name)
+        }
+
+    # ------------------------------------------------------------------
+    # target discovery
+    # ------------------------------------------------------------------
+    def discover(self, paths: list[Path | str]) -> list[Path]:
+        """Every ``.py`` file under the given files/directories, sorted."""
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.config.root / path
+            if path.is_dir():
+                seen.update(p for p in path.rglob("*.py") if p.is_file())
+            elif path.suffix == ".py" and path.is_file():
+                seen.add(path)
+        return sorted(seen)
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.config.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # ------------------------------------------------------------------
+    # per-module analysis
+    # ------------------------------------------------------------------
+    def _load(self, path: Path) -> tuple[ModuleInfo | None, list[Finding]]:
+        rel = self._rel(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            return None, [
+                Finding(
+                    path=rel,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=0,
+                    rule="parse-error",
+                    message=f"cannot analyze: {exc}",
+                )
+            ]
+        return (
+            ModuleInfo(
+                path=path,
+                rel=rel,
+                source=source,
+                tree=tree,
+                pragmas=collect_pragmas(source),
+            ),
+            [],
+        )
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: WalkContext,
+        rules: list[ModuleRule],
+    ) -> None:
+        for rule in rules:
+            visitor = visitor_for(rule, node)
+            if visitor is not None:
+                visitor(node, ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            ctx.func_stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, rules)
+            ctx.func_stack.pop()
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            held: list[_LockHold] = []
+            for item in node.items:
+                # The context expressions themselves evaluate before
+                # the lock is held, so walk them outside the hold.
+                self._walk(item.context_expr, ctx, rules)
+                if item.optional_vars is not None:
+                    self._walk(item.optional_vars, ctx, rules)
+                text = ast.unparse(item.context_expr)
+                if _LOCKISH_RE.search(text):
+                    held.append(
+                        _LockHold(
+                            text=text,
+                            func_depth=len(ctx.func_stack),
+                            is_async=isinstance(node, ast.AsyncWith),
+                        )
+                    )
+            ctx._locks.extend(held)
+            for stmt in node.body:
+                self._walk(stmt, ctx, rules)
+            if held:
+                del ctx._locks[-len(held):]
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, rules)
+
+    def _check_module(self, module: ModuleInfo) -> list[Finding]:
+        rules = [
+            cls(self.config)
+            for cls in self.rule_classes.values()
+            if issubclass(cls, ModuleRule) and cls.applies_to(module.rel)
+        ]
+        findings: list[Finding] = []
+        if rules:
+            for rule in rules:
+                rule.begin(module)
+            self._walk(module.tree, WalkContext(), rules)
+            for rule in rules:
+                rule.finish()
+                findings.extend(rule.findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    # pragma bookkeeping
+    # ------------------------------------------------------------------
+    def _apply_pragmas(
+        self, module: ModuleInfo, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """(kept findings, pragma-error findings) for one module."""
+        kept: list[Finding] = []
+        used: set[tuple[int, str]] = set()
+        for finding in findings:
+            pragma = module.pragmas.get(finding.line)
+            if pragma is not None and finding.rule in pragma.rules:
+                used.add((finding.line, finding.rule))
+            else:
+                kept.append(finding)
+        errors: list[Finding] = []
+        known = set(registered_rules())
+        ran = set(self.rule_classes)
+        for line, pragma in sorted(module.pragmas.items()):
+            for token in pragma.bad_tokens:
+                errors.append(
+                    Finding(
+                        path=module.rel,
+                        line=line,
+                        col=0,
+                        rule="unknown-pragma",
+                        message=(
+                            f"malformed pragma token {token!r}; expected "
+                            f"allow-<rule> (rules: {', '.join(sorted(known))})"
+                        ),
+                    )
+                )
+            for rule_name in pragma.rules:
+                if rule_name not in known:
+                    errors.append(
+                        Finding(
+                            path=module.rel,
+                            line=line,
+                            col=0,
+                            rule="unknown-pragma",
+                            message=(
+                                f"pragma allows unknown rule {rule_name!r} "
+                                f"(rules: {', '.join(sorted(known))})"
+                            ),
+                        )
+                    )
+                elif (
+                    self.config.strict
+                    and rule_name in ran
+                    and (line, rule_name) not in used
+                ):
+                    errors.append(
+                        Finding(
+                            path=module.rel,
+                            line=line,
+                            col=0,
+                            rule="stale-pragma",
+                            message=(
+                                f"pragma allows {rule_name!r} but the rule "
+                                f"reports nothing on this line; remove the "
+                                f"stale suppression"
+                            ),
+                        )
+                    )
+        return kept, errors
+
+    # ------------------------------------------------------------------
+    def run(self, paths: list[Path | str]) -> "AnalysisResult":
+        files = self.discover(paths)
+        modules: list[ModuleInfo] = []
+        findings: list[Finding] = []
+        for path in files:
+            module, load_errors = self._load(path)
+            findings.extend(load_errors)
+            if module is None:
+                continue
+            modules.append(module)
+            raw = self._check_module(module)
+            kept, pragma_errors = self._apply_pragmas(module, raw)
+            findings.extend(kept)
+            findings.extend(pragma_errors)
+        for name, cls in self.rule_classes.items():
+            if issubclass(cls, ProjectRule):
+                rule = cls(self.config)
+                project_findings = rule.check(modules)
+                # Project rules honor line pragmas too (their findings
+                # anchor to real lines in real files).
+                by_module = {m.rel: m for m in modules}
+                for finding in project_findings:
+                    module = by_module.get(finding.path)
+                    pragma = (
+                        module.pragmas.get(finding.line)
+                        if module is not None else None
+                    )
+                    if pragma is not None and finding.rule in pragma.rules:
+                        continue
+                    findings.append(finding)
+        return AnalysisResult(
+            config=self.config,
+            files=len(files),
+            rules=tuple(self.rule_classes),
+            findings=sorted(findings),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of one run: what was checked and what was found."""
+
+    config: AnalysisConfig
+    files: int
+    rules: tuple[str, ...]
+    findings: list[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def analyze(
+    paths: list[Path | str], config: AnalysisConfig | None = None
+) -> AnalysisResult:
+    """Convenience one-shot: build an :class:`Analyzer` and run it."""
+    return Analyzer(config).run(paths)

@@ -1,0 +1,44 @@
+"""Finding records: what a rule reports, where, and why.
+
+A finding is one violated invariant at one source location.  Findings
+are plain data -- reporters render them (text for terminals, JSON for
+the CI artifact) and the engine's exit code is derived from whether any
+survived pragma suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is root-relative and POSIX-flavored so reports are stable
+    across machines; ``line``/``col`` are 1-based / 0-based, matching
+    ``ast`` node coordinates (and therefore clickable in most editors).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable record (the JSON reporter's line shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One text-reporter line: ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

@@ -1,0 +1,54 @@
+"""Render an :class:`~repro.analysis.engine.AnalysisResult`.
+
+Two formats: ``text`` for terminals (one ``path:line:col`` line per
+finding plus a summary) and ``json`` for the CI artifact (a stable
+versioned document downstream tooling can diff across runs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import AnalysisResult
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+#: Bump when the JSON document shape changes.
+REPORT_VERSION = 1
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-readable report: findings, then a one-line summary."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.by_rule()
+    if counts:
+        breakdown = ", ".join(f"{rule}={n}" for rule, n in counts.items())
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"ok: {result.files} file(s) clean")
+    return "\n".join(lines) + "\n"
+
+
+def to_document(result: AnalysisResult) -> dict[str, Any]:
+    """The JSON report as a plain dict (what ``render_json`` dumps)."""
+    return {
+        "version": REPORT_VERSION,
+        "root": str(result.config.root),
+        "strict": result.config.strict,
+        "rules": list(result.rules),
+        "files": result.files,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "findings": len(result.findings),
+            "by_rule": result.by_rule(),
+            "ok": result.ok,
+        },
+    }
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(to_document(result), indent=2, sort_keys=False) + "\n"

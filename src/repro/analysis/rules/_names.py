@@ -1,0 +1,61 @@
+"""Shared call-name resolution for the AST rules.
+
+Rules match *calls to module-level functions* (``time.sleep(...)``,
+``random.randint(...)``).  To survive import aliasing (``import time as
+t``, ``from time import sleep``) each rule tracks the module's imports
+via :class:`ImportTracker` and resolves call targets to canonical
+dotted names before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportTracker", "attribute_chain"]
+
+
+def attribute_chain(node: ast.AST) -> str | None:
+    """``a.b.c`` as a string for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportTracker:
+    """Maps local names back to the canonical dotted names they import.
+
+    ``import numpy as np`` makes ``np`` resolve to ``numpy``;
+    ``from time import sleep as zzz`` makes ``zzz`` resolve to
+    ``time.sleep``.  Mix into a ModuleRule and call the two ``record_*``
+    methods from ``visit_Import`` / ``visit_ImportFrom``.
+    """
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    def record_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            full = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            self._aliases[local] = full
+
+    def record_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never alias the stdlib modules we ban
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a call target, or ``None``."""
+        chain = attribute_chain(node)
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        canonical = self._aliases.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical

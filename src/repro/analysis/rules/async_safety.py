@@ -1,0 +1,166 @@
+"""Async-safety rules: the event-loop contract.
+
+These encode the class of bug PR 3 fixed: the server once awaited a
+plan compile while holding the batcher condition, wedging every other
+coroutine that needed the lock.  The rules are structural -- the shared
+walk tracks which lock-ish context managers are held and how deep the
+function nesting is, so each rule is a small predicate over that state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar
+
+from ..registry import ModuleRule, register
+from ._names import ImportTracker, attribute_chain
+
+if TYPE_CHECKING:
+    from ..engine import ModuleInfo, WalkContext
+
+__all__ = ["LockHeldAwaitRule", "BlockingAsyncRule", "UnawaitedCoroutineRule"]
+
+#: Condition-variable methods that are *supposed* to be awaited while
+#: the lock is held (that is how asyncio.Condition works).
+_COND_METHODS = frozenset({"wait", "wait_for", "acquire"})
+
+#: Known-blocking module-level calls that must not run on the loop.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.waitpid",
+        "select.select",
+        "socket.create_connection",
+    }
+)
+
+
+@register
+class LockHeldAwaitRule(ModuleRule):
+    """No awaiting slow work while holding a lock/condition.
+
+    Awaiting ``cond.wait()`` (and friends) on the *held* condition is
+    exempt -- releasing the lock is that call's entire point.  Anything
+    else awaited under a lock serializes every coroutine that needs it
+    behind the awaited operation (the PR 3 compile-under-lock bug).
+    """
+
+    name: ClassVar[str] = "lock-held-await"
+    description: ClassVar[str] = (
+        "no await of compile/IO while holding a lock or condition "
+        "(cond.wait()/wait_for() on the held condition are exempt)"
+    )
+    category: ClassVar[str] = "async-safety"
+
+    def visit_Await(self, node: ast.Await, ctx: "WalkContext") -> None:
+        held = ctx.held_locks()
+        if not held:
+            return
+        if self._is_condition_protocol(node.value, {h.text for h in held}):
+            return
+        lock_names = ", ".join(h.text for h in held)
+        self.report(
+            node,
+            f"await while holding {lock_names}: every coroutine needing "
+            f"the lock now waits on this operation; release first "
+            f"(single-flight pattern) or use the condition protocol",
+        )
+
+    @staticmethod
+    def _is_condition_protocol(value: ast.AST, held_texts: set[str]) -> bool:
+        if not (isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute)):
+            return False
+        if value.func.attr not in _COND_METHODS:
+            return False
+        owner = attribute_chain(value.func.value)
+        return owner is not None and owner in held_texts
+
+
+@register
+class BlockingAsyncRule(ModuleRule):
+    """No synchronous blocking calls inside ``async def`` bodies."""
+
+    name: ClassVar[str] = "blocking-async"
+    description: ClassVar[str] = (
+        "no blocking calls (time.sleep, subprocess.run, ...) inside "
+        "async def -- they stall the whole event loop"
+    )
+    category: ClassVar[str] = "async-safety"
+
+    def begin(self, module: "ModuleInfo") -> None:
+        super().begin(module)
+        self.imports = ImportTracker()
+
+    def visit_Import(self, node: ast.Import, ctx: "WalkContext") -> None:
+        self.imports.record_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: "WalkContext") -> None:
+        self.imports.record_import_from(node)
+
+    def visit_Call(self, node: ast.Call, ctx: "WalkContext") -> None:
+        if not ctx.in_async_function:
+            return
+        target = self.imports.resolve(node.func)
+        if target in _BLOCKING_CALLS:
+            self.report(
+                node,
+                f"{target}() blocks the event loop inside async def; "
+                f"use the async equivalent or run_in_executor",
+            )
+
+
+@register
+class UnawaitedCoroutineRule(ModuleRule):
+    """A coroutine call as a bare statement never runs.
+
+    Detection is intra-module (no type inference): the rule collects
+    every ``async def`` name defined in the module, then flags bare
+    expression statements whose call target resolves to one of them.
+    ``await``-ing, returning, or passing the coroutine to
+    ``create_task``/``gather`` all change the statement shape, so only
+    the genuinely dropped case matches.
+    """
+
+    name: ClassVar[str] = "unawaited-coroutine"
+    description: ClassVar[str] = (
+        "a bare call to an async def defined in this module drops the "
+        "coroutine without running it"
+    )
+    category: ClassVar[str] = "async-safety"
+
+    def begin(self, module: "ModuleInfo") -> None:
+        super().begin(module)
+        async_names: set[str] = set()
+        sync_names: set[str] = set()
+        for n in ast.walk(module.tree):
+            if isinstance(n, ast.AsyncFunctionDef):
+                async_names.add(n.name)
+            elif isinstance(n, ast.FunctionDef):
+                sync_names.add(n.name)
+        # A name also bound by a sync def (a closure helper shadowing a
+        # method, say) is ambiguous without scope analysis -- skip it.
+        self._async_names = async_names - sync_names
+
+    def visit_Expr(self, node: ast.Expr, ctx: "WalkContext") -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        chain = attribute_chain(node.value.func)
+        if chain is None:
+            return
+        # Only bare names and self-calls: ``other.run()`` may well be a
+        # different object's sync method with a colliding name.
+        if "." in chain and not chain.startswith("self."):
+            return
+        callee = chain.rsplit(".", 1)[-1]
+        if callee in self._async_names:
+            self.report(
+                node,
+                f"call to async def {callee!r} is never awaited -- the "
+                f"coroutine is created and dropped; await it or wrap it "
+                f"in asyncio.create_task()",
+            )

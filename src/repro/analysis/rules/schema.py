@@ -1,0 +1,295 @@
+"""Schema-drift rule: metrics snapshot vs README glossary vs baseline.
+
+``ServerMetrics.snapshot()`` is the serving stack's public counter
+schema: the perf-report pipeline, the CI regression gate, and the
+README glossary all consume it.  Drift is cheap to introduce (add a
+counter, forget the docs) and expensive to notice (a dashboard key
+silently missing).  This rule pins the schema three ways:
+
+1. every snapshot key must appear in the README metrics glossary;
+2. the committed baseline (``schema_baseline.json``) must match the
+   current field set *and* ``METRICS_SCHEMA_VERSION`` -- changing the
+   fields without bumping the version (or vice versa) is a finding;
+3. a missing baseline is itself a finding.
+
+After a deliberate schema change: bump ``METRICS_SCHEMA_VERSION``,
+document the new keys in the README, then run
+``python -m repro.analysis --update-schema-baseline``.
+
+Everything is read via ``ast``/text from the paths in
+:class:`~repro.analysis.config.AnalysisConfig`, so fixture tests point
+the rule at synthetic trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, ClassVar
+
+from ..findings import Finding
+from ..registry import ProjectRule, register
+
+if TYPE_CHECKING:
+    from ..config import AnalysisConfig
+    from ..engine import ModuleInfo
+
+__all__ = ["SchemaDriftRule", "extract_schema", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+#: Snapshot keys that are envelope metadata, not glossary counters.
+_ENVELOPE_KEYS = frozenset({"schema"})
+
+
+def extract_schema(metrics_path: Path) -> tuple[int | None, dict[str, int], int]:
+    """(schema version, key -> lineno, version lineno) from metrics.py.
+
+    Keys are the string-literal keys of the dict returned by
+    ``snapshot()``; the version is the ``METRICS_SCHEMA_VERSION``
+    module constant.  Missing pieces come back as ``None``/empty.
+    """
+    tree = ast.parse(metrics_path.read_text(encoding="utf-8"))
+    version: int | None = None
+    version_line = 1
+    keys: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "METRICS_SCHEMA_VERSION"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    version = node.value.value
+                    version_line = node.lineno
+        elif isinstance(node, ast.FunctionDef) and node.name == "snapshot":
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    for key in sub.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.setdefault(key.value, key.lineno)
+    return version, keys, version_line
+
+
+def fingerprint(version: int | None, keys: dict[str, int]) -> dict[str, Any]:
+    return {
+        "baseline_version": BASELINE_VERSION,
+        "metrics_schema_version": version,
+        "fields": sorted(keys),
+    }
+
+
+def write_baseline(config: "AnalysisConfig") -> Path:
+    """Regenerate the committed baseline from the current metrics.py."""
+    metrics_path = config.root / config.schema_metrics
+    version, keys, _ = extract_schema(metrics_path)
+    baseline_path = config.root / config.schema_baseline
+    baseline_path.write_text(
+        json.dumps(fingerprint(version, keys), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return baseline_path
+
+
+def _glossary_text(readme: str) -> str:
+    """The metrics-glossary section of the README (whole file fallback)."""
+    match = re.search(
+        r"^#{2,4}\s+Metrics glossary\s*$(?P<body>.*?)(?=^#{1,4}\s|\Z)",
+        readme,
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    return match.group("body") if match else readme
+
+
+def _mentions(text: str, key: str) -> bool:
+    return re.search(rf"(?<![A-Za-z0-9_]){re.escape(key)}(?![A-Za-z0-9_])", text) is not None
+
+
+@register
+class SchemaDriftRule(ProjectRule):
+    """ServerMetrics snapshot keys vs README glossary vs baseline."""
+
+    name: ClassVar[str] = "schema-drift"
+    description: ClassVar[str] = (
+        "every ServerMetrics.snapshot() key must be in the README "
+        "metrics glossary, and METRICS_SCHEMA_VERSION must be bumped "
+        "(and the baseline refreshed) whenever the field set changes"
+    )
+    category: ClassVar[str] = "schema"
+
+    def check(self, modules: "list[ModuleInfo]") -> list[Finding]:
+        config = self.config
+        metrics_path = config.root / config.schema_metrics
+        if not metrics_path.is_file():
+            return []  # fixture tree without a metrics module: nothing to pin
+        findings: list[Finding] = []
+        rel = config.schema_metrics
+        try:
+            version, keys, version_line = extract_schema(metrics_path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=0,
+                    rule=self.name,
+                    message=f"cannot parse metrics module: {exc}",
+                )
+            ]
+        if version is None:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=1,
+                    col=0,
+                    rule=self.name,
+                    message="METRICS_SCHEMA_VERSION constant not found",
+                )
+            )
+        if not keys:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=1,
+                    col=0,
+                    rule=self.name,
+                    message="no snapshot() dict keys found",
+                )
+            )
+            return findings
+
+        findings.extend(self._check_readme(config, rel, keys))
+        findings.extend(
+            self._check_baseline(config, rel, version, keys, version_line)
+        )
+        return findings
+
+    def _check_readme(
+        self, config: "AnalysisConfig", rel: str, keys: dict[str, int]
+    ) -> list[Finding]:
+        readme_path = config.root / config.schema_readme
+        if not readme_path.is_file():
+            return [
+                Finding(
+                    path=rel,
+                    line=1,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"README not found at {config.schema_readme}; "
+                        f"cannot check the metrics glossary"
+                    ),
+                )
+            ]
+        glossary = _glossary_text(readme_path.read_text(encoding="utf-8"))
+        return [
+            Finding(
+                path=rel,
+                line=line,
+                col=0,
+                rule=self.name,
+                message=(
+                    f"snapshot key {key!r} is missing from the README "
+                    f"metrics glossary; add a row describing it"
+                ),
+            )
+            for key, line in sorted(keys.items())
+            if key not in _ENVELOPE_KEYS and not _mentions(glossary, key)
+        ]
+
+    def _check_baseline(
+        self,
+        config: "AnalysisConfig",
+        rel: str,
+        version: int | None,
+        keys: dict[str, int],
+        version_line: int,
+    ) -> list[Finding]:
+        baseline_path = config.root / config.schema_baseline
+        refresh = "run `python -m repro.analysis --update-schema-baseline`"
+        if not baseline_path.is_file():
+            return [
+                Finding(
+                    path=rel,
+                    line=version_line,
+                    col=0,
+                    rule=self.name,
+                    message=f"no schema baseline at {config.schema_baseline}; {refresh}",
+                )
+            ]
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return [
+                Finding(
+                    path=rel,
+                    line=version_line,
+                    col=0,
+                    rule=self.name,
+                    message=f"unreadable schema baseline: {exc}; {refresh}",
+                )
+            ]
+        base_version = baseline.get("metrics_schema_version")
+        base_fields = list(baseline.get("fields", []))
+        fields = sorted(keys)
+        findings: list[Finding] = []
+        if fields != base_fields:
+            added = sorted(set(fields) - set(base_fields))
+            removed = sorted(set(base_fields) - set(fields))
+            delta = "; ".join(
+                part
+                for part in (
+                    f"added {added}" if added else "",
+                    f"removed {removed}" if removed else "",
+                )
+                if part
+            )
+            if version == base_version:
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=version_line,
+                        col=0,
+                        rule=self.name,
+                        message=(
+                            f"snapshot fields changed ({delta}) but "
+                            f"METRICS_SCHEMA_VERSION is still {version}; "
+                            f"bump it, document the keys, then {refresh}"
+                        ),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=version_line,
+                        col=0,
+                        rule=self.name,
+                        message=(
+                            f"snapshot fields changed ({delta}) and the "
+                            f"version moved to {version}; {refresh} to "
+                            f"commit the new fingerprint"
+                        ),
+                    )
+                )
+        elif version != base_version:
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=version_line,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"METRICS_SCHEMA_VERSION is {version} but the "
+                        f"baseline records {base_version} with identical "
+                        f"fields; {refresh} (or revert the bump)"
+                    ),
+                )
+            )
+        return findings

@@ -463,7 +463,6 @@ def ablation_design_choices():
     """
     device = RTX3090
     model = LatencyModel(device)
-    pair = PrecisionPair.parse("w1a2")
     p, q = 1, 2
     n = k = 1024
     cfg = autotune(n, GEMM_BATCH, p, q, device).config

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.bitops import bit_combine, bit_decompose, pack_bits, packed_words, unpack_bits
+from ..core.bitops import bit_combine, bit_decompose, pack_bits, unpack_bits
 from ..core.types import Precision
 
 __all__ = [

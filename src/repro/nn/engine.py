@@ -59,7 +59,6 @@ from .layers import (
     BatchNorm2d,
     Conv2d,
     Flatten,
-    Linear,
     MaxPool2d,
     Quantize,
     ReLU,

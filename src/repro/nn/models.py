@@ -22,7 +22,6 @@ import numpy as np
 
 from .layers import (
     AdaptiveAvgPool2d,
-    AvgPool2d,
     BatchNorm2d,
     Conv2d,
     Flatten,

@@ -23,8 +23,7 @@ validated.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from ..tensorcore.counters import ExecutionCounters

@@ -507,7 +507,7 @@ class _WorkerProcess:
                 f"worker {self.name} failed its handshake: {ready!r}"
             )
         self.ready = ready
-        self._last_contact = time.monotonic()
+        self._last_contact = time.monotonic()  # repro: allow-wall-clock -- process-mode heartbeat bookkeeping
         self._tasks = [
             asyncio.create_task(
                 self._read_loop(), name=f"cluster-read-{self.name}"
@@ -548,7 +548,7 @@ class _WorkerProcess:
                 await asyncio.wait_for(
                     self.call({"type": "shutdown"}), timeout=5.0
                 )
-            except (WorkerCrashed, asyncio.TimeoutError, OSError):
+            except (WorkerCrashed, asyncio.TimeoutError, OSError):  # repro: allow-swallowed-exception -- best-effort shutdown of a dying subprocess
                 pass
             try:
                 await asyncio.wait_for(self.proc.wait(), timeout=5.0)
@@ -560,7 +560,7 @@ class _WorkerProcess:
         for task in self._tasks:
             try:
                 await task
-            except (asyncio.CancelledError, Exception):
+            except (asyncio.CancelledError, Exception):  # repro: allow-swallowed-exception -- reaping cancelled reader/heartbeat tasks
                 pass
         self._tasks = []
 
@@ -572,15 +572,15 @@ class _WorkerProcess:
                 msg = await read_frame_async(self.proc.stdout)
                 if msg is None:
                     break
-                self._last_contact = time.monotonic()
+                self._last_contact = time.monotonic()  # repro: allow-wall-clock -- real subprocess liveness, not sim time
                 if msg.get("type") == "pong":
                     continue
                 seq = msg.get("seq")
                 fut = self._pending.pop(seq, None)
                 if fut is not None and not fut.done():
                     fut.set_result(msg)
-        except Exception:
-            pass  # torn frame or closed pipe: same as EOF below
+        except Exception:  # repro: allow-swallowed-exception -- torn frame or closed pipe: same as EOF below
+            pass
         self._mark_dead()
 
     async def _heartbeat_loop(self) -> None:
@@ -596,7 +596,7 @@ class _WorkerProcess:
             await asyncio.sleep(self._policy.heartbeat_interval_s)
             if self._closing or self._dead:
                 return
-            silent_s = time.monotonic() - self._last_contact
+            silent_s = time.monotonic() - self._last_contact  # repro: allow-wall-clock -- heartbeat staleness is wall time
             if silent_s > self._policy.heartbeat_timeout_s:
                 self._metrics.record_heartbeat_timeout(self.name)
                 self.kill()  # EOF lands in the read loop -> death path
@@ -719,7 +719,7 @@ def _worker_main() -> int:
                 })
                 continue
             if slow_sleep_s > 0:
-                time.sleep(slow_sleep_s)
+                time.sleep(slow_sleep_s)  # repro: allow-wall-clock -- fault-injection wedge hook in the real subprocess
             write_frame(stdout, {
                 "type": "result",
                 "seq": msg.get("seq"),
@@ -1277,10 +1277,23 @@ class ClusterCoordinator:
         old = self._workers[name].transport
         try:
             transport = await self._spawn(name)
-        except Exception:
+        except Exception as exc:
+            # The worker stays dead and survivors carry the load, but
+            # the dead transport must still be reaped (it holds the
+            # crashed subprocess plus its reader/heartbeat tasks) and
+            # the spawn failure must surface as a failover event, not
+            # vanish.
+            if self.tracer.enabled:
+                self.tracer.event(
+                    f"restart-failed:{name}", "failover", self._sim_now_us,
+                    lane=name, worker=name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if old is not None:
+                await old.close()
             async with self._cond:
                 self._cond.notify_all()
-            return  # stays dead; survivors carry the load
+            return
         installed = False
         async with self._cond:
             st = self._workers[name]

@@ -23,6 +23,7 @@ over the same frame format.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import struct
 from typing import Any, BinaryIO
@@ -148,15 +149,13 @@ def write_frame(stream: BinaryIO, message: dict[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # asyncio (coordinator side)
 # ----------------------------------------------------------------------
-async def read_frame_async(reader) -> dict[str, Any] | None:
+async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | None:
     """Read one message from an :class:`asyncio.StreamReader`.
 
     Returns ``None`` on a clean EOF (worker exited between frames);
     raises :class:`FrameError` on a torn frame (worker killed
     mid-write).
     """
-    import asyncio
-
     try:
         header = await reader.readexactly(_LEN.size)
     except asyncio.IncompleteReadError as exc:
@@ -176,7 +175,9 @@ async def read_frame_async(reader) -> dict[str, Any] | None:
     return decode_payload(payload)
 
 
-async def write_frame_async(writer, message: dict[str, Any]) -> None:
+async def write_frame_async(
+    writer: asyncio.StreamWriter, message: dict[str, Any]
+) -> None:
     """Write one message to an :class:`asyncio.StreamWriter` and drain."""
     writer.write(encode_frame(message))
     await writer.drain()

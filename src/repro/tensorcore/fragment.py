@@ -13,7 +13,7 @@ the high-water mark the performance model uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

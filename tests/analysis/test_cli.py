@@ -1,0 +1,112 @@
+"""CLI behavior: exit codes, report formats, and the self-check run
+over this repository's real tree (which must stay clean)."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv, cwd=REPO):
+    env_src = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def violating_tree(tmp_path):
+    mod = tmp_path / "serve" / "mod.py"
+    mod.parent.mkdir()
+    mod.write_text(textwrap.dedent("""\
+        import time
+        now = time.time()
+    """))
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = run_cli("--root", str(tmp_path), str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_findings_exit_one(self, violating_tree):
+        proc = run_cli("--root", str(violating_tree), str(violating_tree))
+        assert proc.returncode == 1
+        assert "[wall-clock]" in proc.stdout
+        assert "serve/mod.py:2" in proc.stdout
+
+    def test_unknown_rule_exits_two(self, violating_tree):
+        proc = run_cli(
+            "--root", str(violating_tree), "--select", "no-such-rule",
+            str(violating_tree),
+        )
+        assert proc.returncode == 2
+        assert "no-such-rule" in proc.stderr
+
+    def test_missing_path_exits_two(self, tmp_path):
+        """A typoed path must not silently analyze nothing and pass."""
+        proc = run_cli("--root", str(tmp_path), "no/such/dir")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+
+class TestReports:
+    def test_json_format(self, violating_tree):
+        proc = run_cli(
+            "--root", str(violating_tree), "--format", "json",
+            str(violating_tree),
+        )
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == 1
+        assert doc["summary"]["ok"] is False
+        assert doc["summary"]["by_rule"] == {"wall-clock": 1}
+        assert doc["findings"][0]["path"] == "serve/mod.py"
+
+    def test_out_writes_json_artifact_keeping_text_stdout(
+        self, violating_tree, tmp_path
+    ):
+        out = tmp_path / "findings.json"
+        proc = run_cli(
+            "--root", str(violating_tree), "--out", str(out),
+            str(violating_tree),
+        )
+        assert proc.returncode == 1
+        assert "[wall-clock]" in proc.stdout  # text on stdout
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["findings"] == 1
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for name in ("wall-clock", "lock-held-await", "schema-drift"):
+            assert name in proc.stdout
+
+
+class TestSelfCheck:
+    def test_repo_tree_is_clean_under_strict(self):
+        """The gate CI runs: the real src+tests tree stays finding-free."""
+        proc = run_cli("--strict", "src", "tests")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_schema_baseline_matches_current_metrics(self):
+        from repro.analysis import AnalysisConfig
+        from repro.analysis.rules.schema import extract_schema, fingerprint
+
+        config = AnalysisConfig(root=REPO)
+        version, keys, _ = extract_schema(REPO / config.schema_metrics)
+        committed = json.loads(
+            (REPO / config.schema_baseline).read_text()
+        )
+        assert committed == fingerprint(version, keys)

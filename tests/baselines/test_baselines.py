@@ -11,7 +11,6 @@ from repro.baselines import (
     cutlass_conv,
     cutlass_gemm,
 )
-from repro.core import Encoding, Precision
 from repro.kernels import apmm
 from repro.perf import LatencyModel
 from repro.tensorcore import RTX3090

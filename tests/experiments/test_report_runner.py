@@ -1,6 +1,5 @@
 """Tests for report formatting and the experiment runner CLI."""
 
-import pathlib
 
 import pytest
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import AffineQuantizer, Encoding, Precision, PrecisionPair
 from repro.kernels import TileConfig, apmm
-from repro.tensorcore import A100, RTX3090
+from repro.tensorcore import A100
 
 U, B = Encoding.UNSIGNED, Encoding.BIPOLAR
 

@@ -6,7 +6,6 @@ vectorized emulation and (b) do exactly the work the performance model
 charges.
 """
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -6,9 +6,7 @@ import pytest
 from repro.core import PrecisionPair
 from repro.nn import (
     BasicBlock,
-    Conv2d,
     Linear,
-    Quantize,
     Sequential,
     alexnet,
     fuse_graph,

@@ -53,7 +53,7 @@ async def _wait_for_inflight(cluster, worker, timeout_s=30.0):
     while loop.time() < deadline:
         if st.transport is not None and st.transport._pending:
             return
-        await asyncio.sleep(0.01)
+        await asyncio.sleep(0.01)  # repro: allow-wall-clock -- polling a real subprocess
     raise AssertionError(f"{worker} never took a batch in flight")
 
 
@@ -144,7 +144,7 @@ class TestKillMidBatch:
                 pids = cluster.worker_pids()
                 if pids.get("worker-0", first) != first:
                     break
-                await asyncio.sleep(0.05)
+                await asyncio.sleep(0.05)  # repro: allow-wall-clock -- waiting out a real respawn
             second = cluster.worker_pids().get("worker-0")
             await cluster.stop()
             return first, second

@@ -13,7 +13,7 @@ import itertools
 import pytest
 
 from repro.core import PrecisionPair
-from repro.nn import APNNBackend, InferenceEngine, alexnet
+from repro.nn import APNNBackend, InferenceEngine
 from repro.serve import PlanCache
 from repro.tensorcore import RTX3090
 

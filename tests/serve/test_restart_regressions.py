@@ -1,0 +1,109 @@
+"""Regressions around the process-mode respawn path.
+
+Found by ``repro.analysis``: when ``_restart_process`` failed to spawn
+a replacement worker, the dead worker's old transport was never closed
+(leaking the crashed subprocess and its reader/heartbeat tasks) and
+the spawn error itself vanished.  These tests drive the failure path
+directly with a monkeypatched ``_spawn`` -- no real subprocess needed.
+"""
+
+import asyncio
+
+import pytest
+
+from harness import RecordingTracer, make_fault_cluster
+
+pytestmark = pytest.mark.serving
+
+
+class FakeTransport:
+    """Stands in for a dead worker's _WorkerProcess."""
+
+    def __init__(self):
+        self.closed = 0
+
+    async def close(self):
+        self.closed += 1
+
+
+def _failing_spawn(exc):
+    async def spawn(name):
+        raise exc
+
+    return spawn
+
+
+class TestFailedRespawn:
+    def test_old_transport_closed_when_spawn_fails(self):
+        cluster = make_fault_cluster(num_workers=2)
+        old = FakeTransport()
+
+        async def run():
+            cluster._cond = asyncio.Condition()
+            st = cluster._workers["worker-0"]
+            st.transport = old
+            cluster._spawn = _failing_spawn(OSError("spawn refused"))
+            await cluster._restart_process("worker-0", st.generation)
+
+        asyncio.run(run())
+        assert old.closed == 1
+
+    def test_spawn_failure_surfaces_as_failover_event(self):
+        tracer = RecordingTracer()
+        cluster = make_fault_cluster(num_workers=2, tracer=tracer)
+
+        async def run():
+            cluster._cond = asyncio.Condition()
+            st = cluster._workers["worker-0"]
+            st.transport = FakeTransport()
+            cluster._spawn = _failing_spawn(OSError("spawn refused"))
+            await cluster._restart_process("worker-0", st.generation)
+
+        asyncio.run(run())
+        events = [
+            s for s in tracer.events_in("failover")
+            if s.name == "restart-failed:worker-0"
+        ]
+        assert len(events) == 1
+        assert "OSError" in events[0].attributes["error"]
+        assert "spawn refused" in events[0].attributes["error"]
+
+    def test_spawn_failure_with_no_old_transport_is_quiet(self):
+        # Sim-mode workers have no transport; the failure path must not
+        # trip over the None.
+        cluster = make_fault_cluster(num_workers=2)
+
+        async def run():
+            cluster._cond = asyncio.Condition()
+            st = cluster._workers["worker-0"]
+            assert st.transport is None
+            cluster._spawn = _failing_spawn(RuntimeError("boom"))
+            await cluster._restart_process("worker-0", st.generation)
+
+        asyncio.run(run())
+
+    def test_worker_stays_dead_but_waiters_are_notified(self):
+        cluster = make_fault_cluster(num_workers=2)
+
+        async def run():
+            cluster._cond = asyncio.Condition()
+            st = cluster._workers["worker-0"]
+            st.alive = False
+            st.transport = FakeTransport()
+            cluster._spawn = _failing_spawn(OSError("spawn refused"))
+
+            notified = asyncio.Event()
+
+            async def waiter():
+                async with cluster._cond:
+                    await cluster._cond.wait()
+                    notified.set()
+
+            task = asyncio.create_task(waiter())
+            await asyncio.sleep(0)  # let the waiter take the condition
+            await cluster._restart_process("worker-0", st.generation)
+            await asyncio.wait_for(notified.wait(), timeout=1)
+            await task
+            return st.alive
+
+        assert asyncio.run(run()) is False

@@ -2,7 +2,6 @@
 
 import importlib.util
 import pathlib
-import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
