@@ -8,10 +8,13 @@ sanctioned wall-clock API -- it measures compile stalls for the
 observability track and never steers control flow.
 
 The ``repro.obs`` wall track is exempt by scope (measuring wall time
-is its job), and the process-mode transport code in ``cluster.py`` /
-``ipc.py`` carries per-line ``# repro: allow-wall-clock`` pragmas at
-its handful of genuinely wall-bound sites (heartbeat staleness, the
-wedge fault hook) rather than a blanket exemption.
+is its job), as is the ``serve/http`` gateway zone (real sockets are
+wall-bound by nature; the simulated-clock contract resumes at the
+backends it submits into).  The process-mode transport code in
+``cluster.py`` / ``ipc.py`` carries per-line
+``# repro: allow-wall-clock`` pragmas at its handful of genuinely
+wall-bound sites (heartbeat staleness, the wedge fault hook) rather
+than a blanket exemption.
 """
 
 from __future__ import annotations
@@ -96,7 +99,11 @@ class WallClockRule(_ImportAwareRule):
     )
     category: ClassVar[str] = "determinism"
     scope: ClassVar[tuple[str, ...]] = ("*/serve/*",)
-    allow: ClassVar[tuple[str, ...]] = ("*/obs/*",)
+    #: ``serve/http`` is the sanctioned wall-clock zone: the gateway
+    #: fronts real sockets (its loopback tests sleep real time for
+    #: slow-reader backpressure), so the simulated-clock contract stops
+    #: at its edge -- the backends it submits into stay in scope.
+    allow: ClassVar[tuple[str, ...]] = ("*/obs/*", "*/serve/http/*")
 
     def visit_Call(self, node: ast.Call, ctx: "WalkContext") -> None:
         target = self.imports.resolve(node.func)

@@ -1,0 +1,239 @@
+"""Loopback benchmark for the HTTP/WebSocket gateway.
+
+Measures :class:`repro.serve.http.HttpGateway` end to end over real
+127.0.0.1 sockets -- accept, parse, submit into a simulated-clock
+:class:`~repro.serve.server.InferenceServer`, stream back -- and emits
+the gateway's metrics snapshot plus wall-clock throughput as one JSON
+document.  CI runs it in the ``gateway`` job and uploads the document
+as an artifact, so gateway-side regressions (throughput collapses,
+backpressure counter drift, queue high-water growth) show up in the
+run history even before a test asserts on them.
+
+Two phases, same backend:
+
+* **http** -- sequential keep-alive ``POST /v1/infer`` requests on one
+  connection (per-request overhead: parse + route + submit + respond);
+* **ws** -- N concurrent WebSocket clients each streaming M
+  submissions and reading results as they complete (steady-state
+  streaming path, send queues active).
+
+Wall time here is measured with ``time.perf_counter`` -- the sanctioned
+wall API -- because a socket benchmark is wall-bound by nature; the
+backend underneath still runs its discrete-event clock.
+
+CLI::
+
+    python -m repro.bench.http --out gateway_bench.json
+    python -m repro.bench.http --requests 200 --clients 4 --per-client 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+from typing import Any
+
+from ..nn import APNNBackend, alexnet
+from ..core import PrecisionPair
+from ..serve import InferenceServer, ServedModel
+from ..serve.http import HttpGateway
+from ..serve.http.protocol import (
+    OP_CLOSE,
+    OP_TEXT,
+    WSDecoder,
+    WSMessageAssembler,
+    encode_ws_frame,
+    encode_ws_message,
+    ws_accept_key,
+)
+from ..tensorcore import RTX3090
+
+__all__ = ["SCHEMA_VERSION", "run_bench", "main"]
+
+SCHEMA_VERSION = 1
+
+_MODEL = "alexnet-64"
+
+#: Any syntactically valid handshake key; the accept check is what the
+#: bench verifies, not key entropy.
+_HANDSHAKE_KEY = "cmVwcm8uYmVuY2guaHR0cA=="
+
+
+def _build_server() -> InferenceServer:
+    model = alexnet(num_classes=10, input_size=64)
+    return InferenceServer(
+        {_MODEL: ServedModel(model, (3, 64, 64), slo_ms=5.0)},
+        [(APNNBackend(PrecisionPair.parse("w1a2")), RTX3090)],
+        slo_ms=5.0,
+    )
+
+
+async def _http_phase(port: int, requests: int) -> float:
+    """Sequential keep-alive inference posts; returns elapsed seconds."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    t0 = time.perf_counter()
+    try:
+        for i in range(requests):
+            body = json.dumps({"model": _MODEL, "tag": f"http-{i}"})
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"POST /v1/infer HTTP/1.1\r\nHost: bench\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n"
+                ).encode("ascii")
+                + payload
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status = int(head.split(b" ", 2)[1])
+            if status != 200:
+                raise RuntimeError(f"bench request {i} got HTTP {status}")
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            await reader.readexactly(length)
+    finally:
+        writer.close()
+    return time.perf_counter() - t0
+
+
+async def _ws_client(port: int, name: str, count: int, seed: int) -> None:
+    """One streaming client: submit ``count``, read every result."""
+    rng = random.Random(seed)
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            (
+                f"GET /v1/stream HTTP/1.1\r\nHost: bench\r\n"
+                f"Connection: Upgrade\r\nUpgrade: websocket\r\n"
+                f"Sec-WebSocket-Key: {_HANDSHAKE_KEY}\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n")[0]:
+            raise RuntimeError(f"upgrade refused: {head[:80]!r}")
+        accept = ws_accept_key(_HANDSHAKE_KEY).encode("ascii")
+        if accept not in head:
+            raise RuntimeError("Sec-WebSocket-Accept mismatch")
+        for i in range(count):
+            writer.write(encode_ws_message(
+                json.dumps({"model": _MODEL, "tag": f"{name}-{i}"}),
+                mask=rng.randbytes(4),
+            ))
+            await writer.drain()
+        decoder = WSDecoder(forbid_mask=True)
+        assembler = WSMessageAssembler()
+        seen = 0
+        while seen < count:
+            chunk = await reader.read(65536)
+            if not chunk:
+                decoder.check_eof()
+                raise RuntimeError(
+                    f"stream ended after {seen}/{count} results"
+                )
+            decoder.feed(chunk)
+            for frame in decoder.frames():
+                message = assembler.push(frame)
+                if message is None:
+                    continue
+                opcode, payload = message
+                if opcode != OP_TEXT:
+                    continue
+                if "error" in json.loads(payload.decode("utf-8")):
+                    raise RuntimeError(f"streamed error: {payload!r}")
+                seen += 1
+        writer.write(encode_ws_frame(OP_CLOSE, b"", mask=rng.randbytes(4)))
+        await writer.drain()
+    finally:
+        writer.close()
+
+
+async def _run(requests: int, clients: int, per_client: int) -> dict:
+    server = _build_server()
+    await server.start()
+    gateway = HttpGateway(server)
+    await gateway.start()
+    try:
+        http_s = await _http_phase(gateway.port, requests)
+        t0 = time.perf_counter()
+        await asyncio.gather(*(
+            _ws_client(gateway.port, f"c{i}", per_client, seed=1000 + i)
+            for i in range(clients)
+        ))
+        ws_s = time.perf_counter() - t0
+    finally:
+        await gateway.stop(timeout=30.0)
+        await server.stop()
+    streamed = clients * per_client
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "http",
+        "config": {
+            "model": _MODEL,
+            "http_requests": requests,
+            "ws_clients": clients,
+            "ws_per_client": per_client,
+        },
+        "http": {
+            "elapsed_s": http_s,
+            "requests_per_s": requests / http_s if http_s else 0.0,
+        },
+        "ws": {
+            "elapsed_s": ws_s,
+            "messages_per_s": streamed / ws_s if ws_s else 0.0,
+        },
+        "gateway_metrics": server.metrics.snapshot(),
+    }
+
+
+def run_bench(
+    *, requests: int = 100, clients: int = 4, per_client: int = 25
+) -> dict[str, Any]:
+    """Run both phases; returns the report document."""
+    return asyncio.run(_run(requests, clients, per_client))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.http",
+        description="Loopback HTTP/WebSocket gateway benchmark.",
+    )
+    parser.add_argument("--requests", type=int, default=100,
+                        help="sequential keep-alive HTTP posts")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent WebSocket clients")
+    parser.add_argument("--per-client", type=int, default=25,
+                        help="streamed submissions per WS client")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report here (else stdout)")
+    args = parser.parse_args(argv)
+    report = run_bench(
+        requests=args.requests,
+        clients=args.clients,
+        per_client=args.per_client,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    snap = report["gateway_metrics"]
+    print(
+        f"http: {report['http']['requests_per_s']:.0f} req/s   "
+        f"ws: {report['ws']['messages_per_s']:.0f} msg/s   "
+        f"backpressure waits: {snap['ws_backpressure_waits']}   "
+        f"queue high-water: {snap['ws_send_queue_high_water']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,12 @@ latency tables (Tables 2-4) toward serving live traffic:
     (``ipc``) over pipes -- with heartbeat crash detection, bounded
     retry with failover, exactly-once completion, worker restarts and
     graceful drain, all sharing one persistent ``PlanCacheStore``.
+``http``
+    Network ingress (subpackage :mod:`repro.serve.http`, imported on
+    demand): a stdlib HTTP/1.1 + WebSocket gateway over ``submit()``
+    with streaming result delivery, per-client bounded send queues
+    (backpressure) and graceful drain behind the shared ``draining``
+    state.
 ``metrics``
     Per-worker p50/p95 simulated latency, queue depth, batch occupancy,
     admission/autoswitch counters, and plan-/autotune-cache hit rates.
@@ -111,7 +117,12 @@ from .scheduler import (
     WFQDiscipline,
     make_discipline,
 )
-from .server import InferenceServer, RequestResult, ServedModel
+from .server import (
+    InferenceServer,
+    RequestResult,
+    ServedModel,
+    ServerDraining,
+)
 from .trace import (
     RejectedRequest,
     TraceEvent,
@@ -161,6 +172,7 @@ __all__ = [
     "InferenceServer",
     "RequestResult",
     "ServedModel",
+    "ServerDraining",
     "ClusterCoordinator",
     "ClusterError",
     "ClusterPolicy",

@@ -84,6 +84,7 @@ from .ipc import (
 from .metrics import ServerMetrics
 from .placement import PlacementController, PlacementPolicy
 from .plan_cache import PlanCache, PlanCacheStore, backend_key
+from .server import ServerDraining
 
 __all__ = [
     "ModelSpec",
@@ -870,6 +871,7 @@ class ClusterCoordinator:
         self._executor: ThreadPoolExecutor | None = None
         self._tasks: list[asyncio.Task] = []
         self._running = False
+        self._draining = False
         self._inflight = 0
         self._sim_now_us = 0.0
         self._last_finish_us = 0.0
@@ -884,6 +886,7 @@ class ClusterCoordinator:
         if self._running:
             return
         self._running = True
+        self._draining = False
         self._cond = asyncio.Condition()
         self._executor = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="cluster-compile"
@@ -952,6 +955,10 @@ class ClusterCoordinator:
             raise RuntimeError(
                 "cluster not running; call await cluster.start() first"
             )
+        if self._draining:
+            raise ServerDraining(
+                f"cluster is draining; request for {model!r} refused"
+            )
         req = _ClusterRequest(
             request_id=next(self._ids),
             model=model,
@@ -964,6 +971,10 @@ class ClusterCoordinator:
             if not self._running:
                 raise RuntimeError(
                     "cluster is stopped; no worker will serve"
+                )
+            if self._draining:
+                raise ServerDraining(
+                    f"cluster is draining; request for {model!r} refused"
                 )
             self.metrics.record_arrival(model, req.arrival_us)
             self.metrics.note_out_of_order_submit(model, req.arrival_us)
@@ -979,6 +990,41 @@ class ClusterCoordinator:
             self._sim_now_us = max(self._sim_now_us, req.arrival_us)
             self._cond.notify_all()
         return await req.future
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions while in-flight requests complete.
+
+        Same contract as :meth:`InferenceServer.begin_drain`: after
+        this, :meth:`submit` raises :class:`~repro.serve.server
+        .ServerDraining` while everything queued or dispatched runs to
+        completion; call :meth:`stop` afterwards to wait for the drain.
+        A later :meth:`start` clears the state.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """True once drain has begun (or the cluster is stopped)."""
+        return self._draining or not self._running
+
+    async def unit_price_us(self, model: str) -> float:
+        """Modeled batch-1 service microseconds of ``model``.
+
+        Mirrors :meth:`InferenceServer.unit_price_us` -- the pricing
+        quantity the HTTP gateway folds into result digests.  Batch-1
+        plans are prewarmed at :meth:`start`, so this normally prices
+        from the warm cache.
+        """
+        if model not in self.specs:
+            raise KeyError(
+                f"unknown model {model!r}; served: {sorted(self.specs)}"
+            )
+        engine = self._engines[model]
+        shape = self.specs[model].input_shape
+        await self.plan_cache.ensure_async(
+            engine, 1, shape, executor=self._executor
+        )
+        return self.plan_cache.total_us(engine, 1, shape)
 
     @property
     def queue_depth(self) -> int:

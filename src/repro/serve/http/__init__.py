@@ -1,0 +1,44 @@
+"""Network ingress: HTTP/1.1 + WebSocket gateway over the serving stack.
+
+See :mod:`repro.serve.http.gateway` for the endpoint surface and
+backpressure semantics, and :mod:`repro.serve.http.protocol` for the
+stdlib-only HTTP parser and RFC 6455 frame codec underneath it.
+"""
+
+from .gateway import DEFAULT_SEND_QUEUE_LIMIT, HttpGateway, result_digest
+from .protocol import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    MAX_WS_PAYLOAD_BYTES,
+    HttpRequest,
+    ProtocolError,
+    WSDecoder,
+    WSFrame,
+    WSMessageAssembler,
+    encode_response,
+    encode_ws_frame,
+    encode_ws_message,
+    parse_request_head,
+    read_http_request,
+    ws_accept_key,
+)
+
+__all__ = [
+    "DEFAULT_SEND_QUEUE_LIMIT",
+    "HttpGateway",
+    "result_digest",
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "MAX_WS_PAYLOAD_BYTES",
+    "HttpRequest",
+    "ProtocolError",
+    "WSDecoder",
+    "WSFrame",
+    "WSMessageAssembler",
+    "encode_response",
+    "encode_ws_frame",
+    "encode_ws_message",
+    "parse_request_head",
+    "read_http_request",
+    "ws_accept_key",
+]

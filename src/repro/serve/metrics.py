@@ -62,8 +62,11 @@ __all__ = [
 #: added the stamp itself plus the queue high-water mark; version 3
 #: added the multi-process fault-tolerance counters (retries,
 #: failovers, worker crashes/restarts, heartbeat timeouts, recovered
-#: store lines).  Bump on any key addition, removal, or meaning change.
-METRICS_SCHEMA_VERSION = 3
+#: store lines); version 4 added the HTTP/WebSocket gateway counters
+#: (connections, requests, bad requests, 503s, WS connections/messages,
+#: backpressure waits, send-queue high water).  Bump on any key
+#: addition, removal, or meaning change.
+METRICS_SCHEMA_VERSION = 4
 
 #: Sliding-window length for per-request latency percentiles.
 DEFAULT_LATENCY_WINDOW = 10_000
@@ -208,6 +211,22 @@ class ServerMetrics:
         self.worker_restarts: dict[str, int] = {}
         self.heartbeat_timeouts: dict[str, int] = {}
         self.store_recovered_lines: int = 0
+        #: HTTP/WebSocket gateway counters (:mod:`repro.serve.http`):
+        #: connections accepted, HTTP requests served, malformed
+        #: requests answered 400, requests/connections refused 503
+        #: while draining, WebSocket upgrades, results streamed over
+        #: WebSockets, times a WS reader deferred because a client's
+        #: bounded send queue was full, and the largest send-queue
+        #: depth any client ever reached (must stay <= the configured
+        #: bound -- the backpressure regression test pins this).
+        self.gateway_connections: int = 0
+        self.gateway_http_requests: int = 0
+        self.gateway_bad_requests: int = 0
+        self.gateway_unavailable: int = 0
+        self.ws_connections: int = 0
+        self.ws_messages_streamed: int = 0
+        self.ws_backpressure_waits: int = 0
+        self.ws_send_queue_high_water: int = 0
         #: Highest dispatched arrival stamp per model (reorder guard).
         self._dispatch_watermark: dict[str, float] = {}
         self._autotune_baseline: AutotuneCacheStats | None = None
@@ -364,6 +383,44 @@ class ServerMetrics:
         """Damaged plan-store lines skipped (and survived) at load."""
         self.store_recovered_lines += lines
 
+    # ------------------------------------------------------------------
+    # HTTP/WebSocket gateway (repro.serve.http)
+    # ------------------------------------------------------------------
+    def record_gateway_connection(self) -> None:
+        """One TCP connection accepted by the gateway."""
+        self.gateway_connections += 1
+
+    def record_gateway_request(self) -> None:
+        """One HTTP request parsed and routed (any status)."""
+        self.gateway_http_requests += 1
+
+    def record_gateway_bad_request(self) -> None:
+        """One malformed request answered 400 (connection survived
+        or was closed cleanly -- never a gateway crash)."""
+        self.gateway_bad_requests += 1
+
+    def record_gateway_unavailable(self) -> None:
+        """One request or connection refused 503 while draining."""
+        self.gateway_unavailable += 1
+
+    def record_ws_connection(self) -> None:
+        """One successful WebSocket upgrade on ``/v1/stream``."""
+        self.ws_connections += 1
+
+    def record_ws_streamed(self) -> None:
+        """One result message streamed to a WebSocket client."""
+        self.ws_messages_streamed += 1
+
+    def record_ws_backpressure_wait(self) -> None:
+        """One deferral: a client's send queue was at its bound, so
+        the gateway stopped reading that client until it drained."""
+        self.ws_backpressure_waits += 1
+
+    def record_ws_send_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of any client's send queue."""
+        if depth > self.ws_send_queue_high_water:
+            self.ws_send_queue_high_water = depth
+
     @property
     def total_worker_crashes(self) -> int:
         return sum(self.worker_crashes.values())
@@ -427,6 +484,14 @@ class ServerMetrics:
             "worker_restarts": self.total_worker_restarts,
             "heartbeat_timeouts": self.total_heartbeat_timeouts,
             "store_recovered_lines": self.store_recovered_lines,
+            "gateway_connections": self.gateway_connections,
+            "gateway_http_requests": self.gateway_http_requests,
+            "gateway_bad_requests": self.gateway_bad_requests,
+            "gateway_unavailable": self.gateway_unavailable,
+            "ws_connections": self.ws_connections,
+            "ws_messages_streamed": self.ws_messages_streamed,
+            "ws_backpressure_waits": self.ws_backpressure_waits,
+            "ws_send_queue_high_water": self.ws_send_queue_high_water,
             "autotune_hits": self.autotune_stats().hits,
         }
 
@@ -564,6 +629,18 @@ class ServerMetrics:
             f"{self.failovers} failovers, {self.retries} retries, "
             f"{self.store_recovered_lines} recovered store lines"
         )
+        if self.gateway_connections or self.ws_connections:
+            lines.append(
+                f"gateway         : {self.gateway_connections} conns, "
+                f"{self.gateway_http_requests} http reqs "
+                f"({self.gateway_bad_requests} bad, "
+                f"{self.gateway_unavailable} unavailable), "
+                f"{self.ws_connections} ws conns, "
+                f"{self.ws_messages_streamed} streamed, "
+                f"{self.ws_backpressure_waits} backpressure waits "
+                f"(send-queue high water "
+                f"{self.ws_send_queue_high_water})"
+            )
         for key in sorted(self.stages):
             s = self.stages[key]
             lines.append(

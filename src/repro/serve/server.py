@@ -92,7 +92,24 @@ from .policies import (
 )
 from .scheduler import QueueDiscipline, QueueSnapshot, make_discipline
 
-__all__ = ["ServedModel", "RequestResult", "InferenceServer"]
+__all__ = [
+    "ServedModel",
+    "RequestResult",
+    "ServerDraining",
+    "InferenceServer",
+]
+
+
+class ServerDraining(RuntimeError):
+    """A submission arrived while the backend is draining.
+
+    Raised by :meth:`InferenceServer.submit` and
+    :meth:`~repro.serve.cluster.ClusterCoordinator.submit` once
+    ``begin_drain()`` has been called: in-flight requests run to
+    completion, new ones are refused.  The HTTP gateway maps this (and
+    its own drain state) to a 503 so load balancers rotate traffic away
+    during shutdown.
+    """
 
 DEFAULT_INPUT_SHAPE = (3, 224, 224)
 
@@ -378,6 +395,7 @@ class InferenceServer:
         self._stopped: asyncio.Event | None = None
         self._tasks: list[asyncio.Task] = []
         self._running = False
+        self._draining = False
         self._ids = itertools.count()
         self._sim_now_us = 0.0
         self._last_finish_us = 0.0
@@ -398,6 +416,10 @@ class InferenceServer:
                 f"unknown model {model!r}; served: {sorted(self.models)}"
             )
         cond = self._require_started()
+        if self._draining:
+            raise ServerDraining(
+                f"server is draining; request for {model!r} refused"
+            )
         req = _PendingRequest(
             request_id=next(self._ids),
             model=model,
@@ -411,6 +433,10 @@ class InferenceServer:
             # awaited it would leave this request queued forever.
             if not self._running:
                 raise RuntimeError("server is stopped; no worker will serve")
+            if self._draining:
+                raise ServerDraining(
+                    f"server is draining; request for {model!r} refused"
+                )
             # Demand is recorded before admission: a shed request is
             # still arrival pressure the placement layer should see.
             self.metrics.record_arrival(model, req.arrival_us)
@@ -450,6 +476,7 @@ class InferenceServer:
         if self._running:
             return
         self._running = True
+        self._draining = False
         self._cond = asyncio.Condition()
         self._stopped = asyncio.Event()
         self._executor = ThreadPoolExecutor(
@@ -514,6 +541,49 @@ class InferenceServer:
                         )
                     )
         self._stopped.set()
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions while in-flight requests complete.
+
+        The one external-facing drain hook (shared with
+        :class:`~repro.serve.cluster.ClusterCoordinator`): after this,
+        :meth:`submit` raises :class:`ServerDraining`, while everything
+        already queued or dispatched runs to completion -- call
+        :meth:`stop` afterwards to actually wait for the drain.  A later
+        :meth:`start` clears the state.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """True once drain has begun (or the server is fully stopped).
+
+        The gateway polls this to answer health checks and to 503 new
+        connections during shutdown.
+        """
+        return self._draining or not self._running
+
+    async def unit_price_us(self, model: str) -> float:
+        """Modeled batch-1 service microseconds of ``model``.
+
+        Deterministic function of (model, backend, device, precision,
+        calibration) on the first worker -- the pricing quantity the
+        HTTP gateway folds into result digests, so a gateway response
+        and a direct :meth:`submit` against the same server derive
+        identical bytes.  Compiles the batch-1 plan off-loop on first
+        use.
+        """
+        if model not in self.models:
+            raise KeyError(
+                f"unknown model {model!r}; served: {sorted(self.models)}"
+            )
+        ref_name = self._worker_specs[0][0]
+        engine = self._engines[(model, ref_name, "")]
+        shape = self.models[model].input_shape
+        await self.plan_cache.ensure_async(
+            engine, 1, shape, executor=self._executor
+        )
+        return self.plan_cache.total_us(engine, 1, shape)
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` is called from another task."""

@@ -1,0 +1,13 @@
+"""Make the serve-layer harness importable from this subdirectory.
+
+pytest's rootdir-style imports put each test file's *own* directory on
+``sys.path``; the shared serving harness lives one level up, so the
+loopback suite adds it explicitly.
+"""
+
+import sys
+from pathlib import Path
+
+_SERVE_TESTS = str(Path(__file__).resolve().parent.parent)
+if _SERVE_TESTS not in sys.path:
+    sys.path.insert(0, _SERVE_TESTS)

@@ -1,0 +1,196 @@
+"""Property tests for the gateway's wire codecs (hypothesis).
+
+The pinned scenarios live in ``test_protocol.py``; here hypothesis
+draws *arbitrary* payloads, fragment sizes, mask keys and chunk
+boundaries and the codecs must hold two invariants everywhere:
+
+* **roundtrip** -- whatever the encoder emits, the decoder returns
+  byte-identical payloads in order, regardless of how the byte stream
+  is sliced in transit;
+* **torn input is never a hang** -- any strict prefix of a valid
+  stream either decodes to fewer messages (with :meth:`WSDecoder
+  .check_eof` loud about the dangling partial) or raises a clean
+  :class:`ProtocolError`; feeding never blocks or spins.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.http.protocol import (
+    OP_BINARY,
+    OP_TEXT,
+    ProtocolError,
+    WSDecoder,
+    WSMessageAssembler,
+    encode_ws_frame,
+    encode_ws_message,
+    parse_request_head,
+    ws_accept_key,
+)
+
+pytestmark = [pytest.mark.serving, pytest.mark.slow]  # hypothesis-heavy
+
+payloads = st.binary(min_size=0, max_size=4096)
+masks = st.one_of(st.none(), st.binary(min_size=4, max_size=4))
+fragment_sizes = st.one_of(st.none(), st.integers(min_value=1, max_value=97))
+
+
+def chunked(data: bytes, cuts: list[int]) -> list[bytes]:
+    """Slice ``data`` at the (sorted, clamped) cut points."""
+    points = sorted({min(c, len(data)) for c in cuts})
+    chunks = []
+    start = 0
+    for point in points:
+        chunks.append(data[start:point])
+        start = point
+    chunks.append(data[start:])
+    return chunks
+
+
+def decode_messages(raw: bytes, chunk_cuts: list[int]) -> list[tuple]:
+    """Run the full decode pipeline over arbitrarily sliced input."""
+    decoder = WSDecoder()
+    assembler = WSMessageAssembler()
+    messages = []
+    for chunk in chunked(raw, chunk_cuts):
+        decoder.feed(chunk)
+        for frame in decoder.frames():
+            message = assembler.push(frame)
+            if message is not None:
+                messages.append(message)
+    decoder.check_eof()
+    return messages
+
+
+class TestWSRoundtrip:
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    @given(payload=payloads, mask=masks, fragment_size=fragment_sizes,
+           cuts=st.lists(st.integers(min_value=0, max_value=8192),
+                         max_size=12))
+    def test_message_roundtrip_any_slicing(
+        self, payload, mask, fragment_size, cuts
+    ):
+        raw = encode_ws_message(
+            payload, mask=mask, fragment_size=fragment_size
+        )
+        messages = decode_messages(raw, cuts)
+        assert messages == [(OP_BINARY, payload)]
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(texts=st.lists(st.text(max_size=256), min_size=1, max_size=8),
+           mask=masks,
+           cuts=st.lists(st.integers(min_value=0, max_value=8192),
+                         max_size=12))
+    def test_stream_of_text_messages_keeps_order(self, texts, mask, cuts):
+        raw = b"".join(
+            encode_ws_message(text, mask=mask) for text in texts
+        )
+        messages = decode_messages(raw, cuts)
+        assert messages == [
+            (OP_TEXT, text.encode("utf-8")) for text in texts
+        ]
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(payload=payloads, mask=masks)
+    def test_masking_hides_payload_but_roundtrips(self, payload, mask):
+        raw = encode_ws_frame(OP_BINARY, payload, mask=mask)
+        decoder = WSDecoder(
+            require_mask=mask is not None,
+            forbid_mask=mask is None,
+        )
+        decoder.feed(raw)
+        [frame] = list(decoder.frames())
+        assert frame.payload == payload
+        decoder.check_eof()
+
+
+class TestTornInput:
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    @given(payload=st.binary(min_size=1, max_size=512),
+           mask=masks,
+           data=st.data())
+    def test_any_strict_prefix_is_loud_or_empty(self, payload, mask, data):
+        raw = encode_ws_frame(OP_BINARY, payload, mask=mask)
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        decoder = WSDecoder()
+        decoder.feed(raw[:cut])
+        assert list(decoder.frames()) == []  # partial: waits, no hang
+        if cut == 0:
+            decoder.check_eof()  # nothing buffered = clean EOF
+        else:
+            with pytest.raises(ProtocolError):
+                decoder.check_eof()
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(payloads_list=st.lists(payloads, min_size=1, max_size=5),
+           data=st.data())
+    def test_tear_between_messages_keeps_completed_ones(
+        self, payloads_list, data
+    ):
+        frames = [encode_ws_frame(OP_BINARY, p) for p in payloads_list]
+        raw = b"".join(frames)
+        boundary = data.draw(
+            st.integers(min_value=0, max_value=len(frames) - 1)
+        )
+        cut = sum(len(f) for f in frames[:boundary])
+        decoder = WSDecoder()
+        decoder.feed(raw[:cut])
+        decoded = list(decoder.frames())
+        assert [f.payload for f in decoded] == payloads_list[:boundary]
+        decoder.check_eof()  # torn exactly at a frame boundary = clean
+
+
+class TestHttpHeadProperties:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        target=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("L", "N"), max_codepoint=127
+            ),
+            max_size=64,
+        ),
+        names=st.lists(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz-",
+                min_size=1, max_size=16,
+            ),
+            max_size=6, unique=True,
+        ),
+        value=st.text(alphabet="abcdefghijklmnopqrstuvwxyz 0123456789",
+                      max_size=32),
+    )
+    def test_valid_heads_parse_and_normalize(self, target, names, value):
+        head = f"GET /{target} HTTP/1.1\r\n"
+        head += "".join(f"{n}: {value}\r\n" for n in names)
+        request = parse_request_head((head + "\r\n").encode("ascii"))
+        assert request.method == "GET"
+        assert request.target == f"/{target}"
+        for name in names:
+            assert request.headers[name] == value.strip()
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(junk=st.binary(min_size=0, max_size=128))
+    def test_arbitrary_bytes_never_crash_the_parser(self, junk):
+        # Either a parsed request or a ProtocolError -- nothing else.
+        try:
+            request = parse_request_head(junk)
+        except ProtocolError:
+            return
+        assert request.method.isupper()
+        assert request.target.startswith("/")
+
+
+class TestAcceptKey:
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(key=st.text(
+        alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                 "0123456789+/=",
+        min_size=1, max_size=32,
+    ))
+    def test_accept_key_is_deterministic_base64(self, key):
+        import base64
+
+        once, twice = ws_accept_key(key), ws_accept_key(key)
+        assert once == twice
+        assert len(base64.b64decode(once)) == 20  # sha1 digest

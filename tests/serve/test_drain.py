@@ -1,0 +1,138 @@
+"""The unified drain contract (``begin_drain`` / ``draining``).
+
+Regression for the asymmetry the HTTP gateway exposed: the server had
+internal stop logic but no *external* drain hook, and the coordinator
+had none at all -- so a front end could not refuse new work while
+letting in-flight requests finish.  Both backends now implement one
+contract, which the gateway (and anything else fronting them) queries
+duck-typed:
+
+* ``begin_drain()`` flips ``draining`` and makes every subsequent
+  ``submit`` raise :class:`~repro.serve.ServerDraining` -- loudly, not
+  by hanging or by silently dropping;
+* work submitted *before* the drain runs to completion with normal
+  results;
+* ``draining`` also reports True for a stopped backend (a front end
+  needs one predicate for "do not accept work");
+* a later ``start()`` clears the state -- drain is a phase, not a
+  one-way door.
+
+Everything runs on the simulated clock (``time_scale=0``): the tests
+interleave with the workers via plain event-loop yields, never wall
+sleeps.
+"""
+
+import asyncio
+
+import pytest
+
+from harness import make_fault_cluster, make_server
+from repro.serve import ServerDraining
+
+pytestmark = pytest.mark.serving
+
+
+async def yield_loop(times: int = 10) -> None:
+    """Give queued submissions a few event-loop turns to be admitted."""
+    for _ in range(times):
+        await asyncio.sleep(0)
+
+
+class TestServerDrain:
+    def test_submit_after_drain_raises_inflight_completes(self):
+        async def _t():
+            server = make_server()
+            await server.start()
+            assert not server.draining
+            inflight = [
+                asyncio.ensure_future(server.submit("resnet-loose"))
+                for _ in range(4)
+            ]
+            await yield_loop()  # all four admitted onto the queue
+            server.begin_drain()
+            assert server.draining
+            with pytest.raises(ServerDraining, match="draining"):
+                await server.submit("resnet-loose")
+            results = await asyncio.gather(*inflight)
+            assert len(results) == 4
+            assert all(r.finish_us >= r.arrival_us for r in results)
+            await server.stop()
+
+        asyncio.run(_t())
+
+    def test_unknown_model_still_beats_draining(self):
+        # The 404-shaped error must not be masked by the 503-shaped one.
+        async def _t():
+            server = make_server()
+            await server.start()
+            server.begin_drain()
+            with pytest.raises(KeyError, match="unknown model"):
+                await server.submit("nope")
+            await server.stop()
+
+        asyncio.run(_t())
+
+    def test_stopped_server_reports_draining(self):
+        async def _t():
+            server = make_server()
+            assert server.draining  # never started = not accepting
+            await server.start()
+            assert not server.draining
+            await server.stop()
+            assert server.draining
+
+        asyncio.run(_t())
+
+    def test_restart_clears_drain(self):
+        async def _t():
+            server = make_server()
+            await server.start()
+            server.begin_drain()
+            await server.stop()
+            await server.start()
+            assert not server.draining
+            result = await server.submit("alexnet-tight")
+            assert result.model == "alexnet-tight"
+            await server.stop()
+
+        asyncio.run(_t())
+
+
+class TestClusterDrain:
+    def test_coordinator_honours_the_same_contract(self):
+        async def _t():
+            cluster = make_fault_cluster(num_workers=2)
+            await cluster.start()
+            assert not cluster.draining
+            model = sorted(cluster.specs)[0]
+            inflight = [
+                asyncio.ensure_future(cluster.submit(model))
+                for _ in range(3)
+            ]
+            await yield_loop()
+            cluster.begin_drain()
+            assert cluster.draining
+            with pytest.raises(ServerDraining, match="draining"):
+                await cluster.submit(model)
+            results = await asyncio.gather(*inflight)
+            assert all(r.model == model for r in results)
+            assert len({r.request_id for r in results}) == 3  # exactly-once
+            await cluster.stop()
+            assert cluster.draining  # stopped still reads as draining
+
+        asyncio.run(_t())
+
+    def test_cluster_restart_clears_drain(self):
+        async def _t():
+            cluster = make_fault_cluster(num_workers=2)
+            await cluster.start()
+            cluster.begin_drain()
+            await cluster.stop()
+            await cluster.start()
+            assert not cluster.draining
+            model = sorted(cluster.specs)[0]
+            result = await cluster.submit(model)
+            assert result.model == model
+            await cluster.stop()
+
+        asyncio.run(_t())

@@ -54,6 +54,15 @@ def test_serving_demo():
     assert "CUTLASS-INT8-TC@A100" in out
 
 
+def test_http_demo():
+    out = _run("http_demo.py")
+    assert "GET /healthz            -> 200" in out
+    assert "results streamed" in out
+    assert "completion-ordered    : True" in out
+    assert "after drain(): new connection -> 503" in out
+    assert "graceful shutdown: OK" in out
+
+
 def test_scheduling_demo():
     out = _run("scheduling_demo.py")
     assert "EDF lowers SLO violations vs FIFO: OK" in out
