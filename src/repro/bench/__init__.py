@@ -23,6 +23,16 @@ changing under it; a tracked kernel whose speedup drops more than the
 tolerance (default 25%) below its committed baseline fails the run, as
 does a gemm-suite geometric-mean speedup below the floor (default 10x).
 
+When a compiled kernel backend (:mod:`repro.core.backends`) is usable,
+every kernel additionally times the **numpy-vs-compiled** pair on the
+path the backend accelerates -- the ``bmma``-engine popcount-reduce GEMM
+for gemm/serving specs, the full conv entry point for conv specs -- and
+the gate also requires byte-identity between the two, a compiled
+geometric mean no slower than numpy overall, and a gemm-suite compiled
+geomean of at least :data:`DEFAULT_MIN_COMPILED_GEMM_SPEEDUP`.  Runs
+without a compiled backend (the CI ``without-numba``/numpy-only leg)
+simply omit the comparison; the gate skips those checks.
+
 CLI (see ``python -m repro.bench --help``)::
 
     python -m repro.bench --fast                 # CI entry point
@@ -41,6 +51,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
+from ..core import backends
 from ..core.emulate import apbit_matmul
 from ..core.packed import packed_matmul
 from ..core.types import PrecisionPair
@@ -51,10 +62,12 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_TOLERANCE",
     "DEFAULT_MIN_GEMM_SPEEDUP",
+    "DEFAULT_MIN_COMPILED_GEMM_SPEEDUP",
     "GemmSpec",
     "ConvSpec",
     "KernelResult",
     "BenchReport",
+    "compiled_backend",
     "gemm_suite",
     "conv_suite",
     "serving_suite",
@@ -67,7 +80,10 @@ __all__ = [
 
 #: Bump when the JSON layout changes; the checker refuses mismatched
 #: baselines instead of comparing apples to oranges.
-SCHEMA_VERSION = 1
+#:
+#: v2: per-kernel numpy-vs-compiled comparison fields
+#: (``numpy_path_us`` / ``compiled_*``) and their summary geomeans.
+SCHEMA_VERSION = 2
 
 RESULT_FILENAME = "BENCH_kernels.json"
 
@@ -85,6 +101,24 @@ DEFAULT_TOLERANCE = 0.25
 
 #: Floor on the gemm suite's geometric-mean packed-vs-reference speedup.
 DEFAULT_MIN_GEMM_SPEEDUP = 10.0
+
+#: Floor on the gemm suite's geometric-mean compiled-vs-numpy speedup on
+#: the popcount-reduce GEMM path (only enforced when a compiled backend
+#: ran; the fused C/JIT kernel measures 3.5-4.8x at the bench shapes, so
+#: 2x is a regression floor, not an aspiration).
+DEFAULT_MIN_COMPILED_GEMM_SPEEDUP = 2.0
+
+
+def compiled_backend() -> "backends.Backend | None":
+    """Highest-priority usable *compiled* backend, or ``None``.
+
+    What the bench times against numpy; ``None`` (numpy-only
+    interpreter) simply omits the comparison columns.
+    """
+    for b in backends.available_backends():
+        if b.compiled and backends.kernel("packed_gemm", b) is not None:
+            return b
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -134,7 +168,14 @@ class ConvSpec:
 
 @dataclass
 class KernelResult:
-    """Timed packed-vs-reference outcome of one kernel."""
+    """Timed packed-vs-reference outcome of one kernel.
+
+    The ``numpy_path_us`` / ``compiled_*`` fields (schema v2) compare the
+    numpy and compiled executions of the *same* packed path -- the
+    ``bmma``-engine popcount-reduce GEMM for gemm/serving specs, the full
+    conv entry point for conv specs.  They stay ``None`` on numpy-only
+    runs, and the gate then skips the compiled checks.
+    """
 
     id: str
     suite: str
@@ -145,6 +186,11 @@ class KernelResult:
     speedup: float
     identical: bool
     repeats: int
+    numpy_path_us: float | None = None
+    compiled_backend: str | None = None
+    compiled_us: float | None = None
+    compiled_speedup: float | None = None
+    compiled_identical: bool | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -164,14 +210,36 @@ class BenchReport:
     def gemm_speedups(self) -> list[float]:
         return [r.speedup for r in self.kernels if r.suite == "gemm"]
 
+    @property
+    def compiled_speedups(self) -> list[float]:
+        return [
+            r.compiled_speedup
+            for r in self.kernels
+            if r.compiled_speedup is not None
+        ]
+
+    @property
+    def gemm_compiled_speedups(self) -> list[float]:
+        return [
+            r.compiled_speedup
+            for r in self.kernels
+            if r.suite == "gemm" and r.compiled_speedup is not None
+        ]
+
     def summary(self) -> dict[str, float]:
         speedups = [r.speedup for r in self.kernels]
-        return {
+        out = {
             "geomean_speedup": geomean(speedups),
             "gemm_geomean_speedup": geomean(self.gemm_speedups),
             "min_speedup": min(speedups) if speedups else 0.0,
             "max_speedup": max(speedups) if speedups else 0.0,
         }
+        if self.compiled_speedups:
+            out["compiled_geomean_speedup"] = geomean(self.compiled_speedups)
+            out["gemm_compiled_geomean_speedup"] = geomean(
+                self.gemm_compiled_speedups
+            )
+        return out
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -307,6 +375,34 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
     return best * 1e6, value
 
 
+def _compiled_compare(
+    run: Callable[[str], np.ndarray],
+    ref_out: np.ndarray,
+    repeats: int,
+) -> dict[str, Any]:
+    """Time ``run(backend_name)`` numpy-vs-compiled on the same path.
+
+    Returns the schema-v2 ``KernelResult`` field values, or ``{}`` when
+    no compiled backend is usable (numpy-only leg).  Identity is checked
+    against both the numpy execution *and* the plane-wise reference.
+    """
+    cb = compiled_backend()
+    if cb is None:
+        return {}
+    numpy_us, numpy_out = _best_of(lambda: run("numpy"), repeats)
+    compiled_us, compiled_out = _best_of(lambda: run(cb.name), repeats)
+    return {
+        "numpy_path_us": numpy_us,
+        "compiled_backend": cb.name,
+        "compiled_us": compiled_us,
+        "compiled_speedup": numpy_us / compiled_us if compiled_us else 0.0,
+        "compiled_identical": bool(
+            np.array_equal(numpy_out, compiled_out)
+            and np.array_equal(compiled_out, ref_out)
+        ),
+    }
+
+
 def _run_gemm(spec: GemmSpec, rng: np.random.Generator, repeats: int) -> KernelResult:
     pair = PrecisionPair.parse(spec.pair)
     w = pair.weight.random_digits(rng, (spec.m, spec.k))
@@ -316,6 +412,18 @@ def _run_gemm(spec: GemmSpec, rng: np.random.Generator, repeats: int) -> KernelR
     )
     packed_us, packed_out = _best_of(
         lambda: packed_matmul(w, x, pair.weight, pair.activation), repeats
+    )
+    # the backend accelerates the bmma-engine popcount-reduce GEMM (the
+    # default auto-dispatch picks the BLAS fold engine for these shapes,
+    # which no backend touches) -- pin the engine so the comparison times
+    # the path that actually differs
+    compiled = _compiled_compare(
+        lambda backend: packed_matmul(
+            w, x, pair.weight, pair.activation,
+            engine="bmma", backend=backend,
+        ),
+        ref_out,
+        repeats,
     )
     return KernelResult(
         id=spec.id,
@@ -327,6 +435,7 @@ def _run_gemm(spec: GemmSpec, rng: np.random.Generator, repeats: int) -> KernelR
         speedup=ref_us / packed_us if packed_us else 0.0,
         identical=bool(np.array_equal(ref_out, packed_out)),
         repeats=repeats,
+        **compiled,
     )
 
 
@@ -353,15 +462,21 @@ def _run_conv(spec: ConvSpec, rng: np.random.Generator, repeats: int) -> KernelR
         m, n_gemm, pair.weight.bits, pair.activation.bits, RTX3090
     ).config
 
-    def run(strategy: str):
+    def run(strategy: str, backend: str | None = None):
         return apconv(
             w, x, pair.weight, pair.activation,
             stride=spec.stride, padding=spec.padding,
-            config=cfg, strategy=strategy,
+            config=cfg, strategy=strategy, backend=backend,
         ).output
 
     ref_us, ref_out = _best_of(lambda: run("bitserial"), repeats)
     packed_us, packed_out = _best_of(lambda: run("packed"), repeats)
+    # full conv entry point: a compiled backend additionally swaps the
+    # im2col digit-matrix materialization for the packed-window gather
+    # where the dispatch heuristic prefers it
+    compiled = _compiled_compare(
+        lambda backend: run("packed", backend), ref_out, repeats
+    )
     return KernelResult(
         id=spec.id,
         suite="conv",
@@ -376,6 +491,7 @@ def _run_conv(spec: ConvSpec, rng: np.random.Generator, repeats: int) -> KernelR
         speedup=ref_us / packed_us if packed_us else 0.0,
         identical=bool(np.array_equal(ref_out, packed_out)),
         repeats=repeats,
+        **compiled,
     )
 
 
@@ -422,6 +538,21 @@ def merge_best(first: BenchReport, second: BenchReport) -> BenchReport:
             continue
         pick = KernelResult(**asdict(a if a.speedup >= b.speedup else b))
         pick.identical = a.identical and b.identical
+        # compiled comparison merges the same way: best ratio, identity
+        # violations survive; a run without compiled data contributes
+        # neither
+        with_compiled = [
+            r for r in (a, b) if r.compiled_speedup is not None
+        ]
+        if with_compiled:
+            best = max(with_compiled, key=lambda r: r.compiled_speedup or 0.0)
+            pick.numpy_path_us = best.numpy_path_us
+            pick.compiled_backend = best.compiled_backend
+            pick.compiled_us = best.compiled_us
+            pick.compiled_speedup = best.compiled_speedup
+            pick.compiled_identical = all(
+                r.compiled_identical for r in with_compiled
+            )
         merged.append(pick)
     return BenchReport(
         suite=first.suite,
@@ -452,14 +583,24 @@ def check_report(
     *,
     tolerance: float = DEFAULT_TOLERANCE,
     min_gemm_speedup: float = DEFAULT_MIN_GEMM_SPEEDUP,
+    min_compiled_gemm_speedup: float = DEFAULT_MIN_COMPILED_GEMM_SPEEDUP,
 ) -> list[str]:
     """The CI gate: return a list of failures (empty means pass).
 
     * any kernel whose packed output was not byte-identical;
     * gemm-suite geometric-mean speedup below ``min_gemm_speedup``;
+    * when the run carries compiled-vs-numpy data: any kernel where the
+      compiled output was not byte-identical, a compiled geomean below
+      1.0 (the compiled backend must never be a pessimization), and a
+      gemm-suite compiled geomean below ``min_compiled_gemm_speedup``;
+      numpy-only runs skip these checks;
     * with a baseline: any tracked kernel whose measured speedup fell more
       than ``tolerance`` below its committed speedup, and any committed
       kernel that disappeared from the run (silent coverage loss).
+
+    Baseline ratio tracking deliberately covers only the numpy
+    ``speedup`` column: compiled timings depend on the host toolchain,
+    so the compiled gates are absolute floors, not baseline diffs.
     """
     failures: list[str] = []
     for r in report.kernels:
@@ -468,12 +609,33 @@ def check_report(
                 f"{r.id}: packed output NOT byte-identical to the "
                 "plane-wise reference"
             )
+        if r.compiled_identical is False:
+            failures.append(
+                f"{r.id}: compiled ({r.compiled_backend}) output NOT "
+                "byte-identical to the numpy path"
+            )
     gg = geomean(report.gemm_speedups)
     if report.gemm_speedups and gg < min_gemm_speedup:
         failures.append(
             f"gemm suite geomean speedup {gg:.1f}x below the "
             f"{min_gemm_speedup:.0f}x floor"
         )
+    # min_compiled_gemm_speedup == 0 disables both compiled perf floors
+    # (smoke-tier shapes are too tiny for meaningful ratios); compiled
+    # byte-identity above is never waived
+    if report.compiled_speedups and min_compiled_gemm_speedup > 0:
+        cg = geomean(report.compiled_speedups)
+        if cg < 1.0:
+            failures.append(
+                f"compiled backend geomean {cg:.2f}x vs numpy -- the "
+                "compiled path must not be slower than the numpy path"
+            )
+        cgg = geomean(report.gemm_compiled_speedups)
+        if report.gemm_compiled_speedups and cgg < min_compiled_gemm_speedup:
+            failures.append(
+                f"gemm suite compiled geomean {cgg:.2f}x below the "
+                f"{min_compiled_gemm_speedup:.1f}x floor"
+            )
     if baseline is not None:
         measured = {r.id: r for r in report.kernels}
         for entry in baseline.get("kernels", []):

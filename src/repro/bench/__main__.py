@@ -13,6 +13,13 @@ baseline (``benchmarks/baselines/BENCH_kernels.json``): exit 1 on any
 byte-identity failure, a gemm-suite geomean speedup below the floor, or a
 tracked kernel regressing more than the tolerance.
 
+When a compiled kernel backend (:mod:`repro.core.backends`) is usable the
+run also times numpy-vs-compiled on each kernel's accelerated path; the
+gate then additionally requires compiled byte-identity, a compiled
+geomean of at least 1x overall, and the gemm-suite compiled floor.
+``--backends-table PATH`` writes that comparison as a markdown table
+(what CI uploads as the backend-comparison artifact).
+
 ``--report`` additionally appends a trend row to ``BENCH_trend.csv`` and
 renders ``BENCH_report.md`` (kernel tables + serving modeled cost + trend
 history; ``--report-experiments`` folds in serving-experiment tables).
@@ -30,6 +37,7 @@ import sys
 
 from . import (
     DEFAULT_BASELINE_PATH,
+    DEFAULT_MIN_COMPILED_GEMM_SPEEDUP,
     DEFAULT_MIN_GEMM_SPEEDUP,
     DEFAULT_TOLERANCE,
     RESULT_FILENAME,
@@ -81,6 +89,16 @@ def _format_table(report) -> str:
         f"{'geomean (all / gemm suite)':<48} "
         f"{s['geomean_speedup']:>23.1f}x {s['gemm_geomean_speedup']:>8.1f}x"
     )
+    if "compiled_geomean_speedup" in s:
+        backend = next(
+            r.compiled_backend for r in report.kernels
+            if r.compiled_backend is not None
+        )
+        lines.append(
+            f"{f'compiled [{backend}] vs numpy geomean (all / gemm)':<48} "
+            f"{s['compiled_geomean_speedup']:>23.2f}x "
+            f"{s['gemm_compiled_geomean_speedup']:>8.2f}x"
+        )
     for m in report.serving:
         lines.append(
             f"serving: {m['model']} {m['pair']} batch={m['batch']} "
@@ -88,6 +106,37 @@ def _format_table(report) -> str:
             f"gemms={m['gemm_problems']} "
             f"plan_cache_hit_rate={m['plan_cache_hit_rate']:.2f}"
         )
+    return "\n".join(lines)
+
+
+def _format_backends_table(report) -> str:
+    """Markdown numpy-vs-compiled comparison (the CI bench artifact)."""
+    rows = [r for r in report.kernels if r.compiled_speedup is not None]
+    if not rows:
+        return (
+            "No compiled backend was usable in this run; "
+            "all kernels executed the numpy paths.\n"
+        )
+    backend = rows[0].compiled_backend
+    lines = [
+        f"# Backend comparison: numpy vs `{backend}`",
+        "",
+        "| kernel | numpy path (us) | compiled (us) | speedup | identical |",
+        "|---|---:|---:|---:|:---:|",
+    ]
+    for r in rows:
+        lines.append(
+            f"| {r.id} | {r.numpy_path_us:.0f} | {r.compiled_us:.0f} "
+            f"| {r.compiled_speedup:.2f}x "
+            f"| {'yes' if r.compiled_identical else '**NO**'} |"
+        )
+    s = report.summary()
+    lines += [
+        "",
+        f"geomean: **{s['compiled_geomean_speedup']:.2f}x** overall, "
+        f"**{s['gemm_compiled_geomean_speedup']:.2f}x** on the gemm suite.",
+        "",
+    ]
     return "\n".join(lines)
 
 
@@ -125,6 +174,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="floor on the gemm suite's geomean speedup "
                              f"(default {DEFAULT_MIN_GEMM_SPEEDUP:.0f}; 0 "
                              "disables)")
+    parser.add_argument("--min-compiled-gemm-speedup", type=float,
+                        default=None,
+                        help="floor on the gemm suite's compiled-vs-numpy "
+                             "geomean (default "
+                             f"{DEFAULT_MIN_COMPILED_GEMM_SPEEDUP:.1f}; "
+                             "0 disables; moot without a compiled backend)")
+    parser.add_argument("--backends-table", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="write the numpy-vs-compiled comparison as a "
+                             "markdown table there (CI artifact)")
     parser.add_argument("--report", action="store_true",
                         help="append a trend row to BENCH_trend.csv and "
                              "render BENCH_report.md under --out")
@@ -172,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     report.write(out_path)
     print(f"\nwrote {out_path}")
 
+    if args.backends_table is not None:
+        args.backends_table.parent.mkdir(parents=True, exist_ok=True)
+        args.backends_table.write_text(_format_backends_table(report))
+        print(f"wrote {args.backends_table}")
+
     if args.report:
         # report before the gate: a regression must not suppress the
         # artifact that explains it
@@ -181,9 +245,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_baseline:
         # never commit a baseline that violates the semantic contract --
         # byte-identity failures must not become "the new normal"
-        broken = [r.id for r in report.kernels if not r.identical]
+        broken = [
+            r.id for r in report.kernels
+            if not r.identical or r.compiled_identical is False
+        ]
         if broken:
-            print("error: refusing to update the baseline; packed output "
+            print("error: refusing to update the baseline; output "
                   "not byte-identical for: " + ", ".join(broken),
                   file=sys.stderr)
             return 1
@@ -215,9 +282,17 @@ def main(argv: list[str] | None = None) -> int:
     floor = args.min_gemm_speedup
     if floor is None:
         floor = 0.0 if tier_name == "smoke" else DEFAULT_MIN_GEMM_SPEEDUP
+    compiled_floor = args.min_compiled_gemm_speedup
+    if compiled_floor is None:
+        # smoke shapes are too tiny for a meaningful ratio floor
+        compiled_floor = (
+            0.0 if tier_name == "smoke"
+            else DEFAULT_MIN_COMPILED_GEMM_SPEEDUP
+        )
     failures = check_report(
         report, baseline,
         tolerance=args.tolerance, min_gemm_speedup=floor,
+        min_compiled_gemm_speedup=compiled_floor,
     )
     timing_failures = [f for f in failures if "byte-identical" not in f]
     if timing_failures:
@@ -234,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         failures = check_report(
             report, baseline,
             tolerance=args.tolerance, min_gemm_speedup=floor,
+            min_compiled_gemm_speedup=compiled_floor,
         )
     if failures:
         print("\nBENCH GATE FAILED:", file=sys.stderr)
@@ -241,8 +317,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {f}", file=sys.stderr)
         return 1
     gg = geomean(report.gemm_speedups)
-    print(f"bench gate passed (gemm geomean {gg:.1f}x, "
-          f"tolerance {args.tolerance:.0%})")
+    msg = (f"bench gate passed (gemm geomean {gg:.1f}x, "
+           f"tolerance {args.tolerance:.0%}")
+    if report.compiled_speedups:
+        msg += f", compiled geomean {geomean(report.compiled_speedups):.2f}x"
+    print(msg + ")")
     return 0
 
 

@@ -1,0 +1,135 @@
+"""numba kernel backend: njit mirrors of the cffi hot loops.
+
+Same three kernels and the same array-level contracts as
+:mod:`repro.core._backend_cffi` (see that module for the layout and
+fusion notes); numba JIT-compiles them on first call and caches the
+machine code on disk (``cache=True``).  This module imports ``numba``
+unconditionally -- the registry only registers the backend when the
+import probe succeeds, and a failing import here degrades selection to
+the next tier via the loader's exception handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numba
+import numpy as np
+
+__all__ = ["kernels"]
+
+
+@numba.njit(cache=True)
+def _pack_bits_jit(bits01, out):  # pragma: no cover - exercised via CI numba leg
+    rows, k = bits01.shape
+    nwords = out.shape[1]
+    for r in range(rows):
+        for wi in range(nwords):
+            out[r, wi] = np.uint64(0)
+        for i in range(k):
+            if bits01[r, i] & 1:
+                out[r, i >> 6] |= np.uint64(1) << np.uint64(i & 63)
+
+
+@numba.njit(inline="always")
+def _popcount64(v):  # pragma: no cover - exercised via CI numba leg
+    # SWAR popcount (numba exposes no uint64 popcount intrinsic across
+    # the versions CI supports); bit-identical to np.bitwise_count.
+    v = v - ((v >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    v = (v & np.uint64(0x3333333333333333)) + (
+        (v >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return np.int64((v * np.uint64(0x0101010101010101)) >> np.uint64(56))
+
+
+@numba.njit(cache=True)
+def _packed_gemm_jit(a, b, p, m, q, n, nwords, op_and, out):  # pragma: no cover
+    for i in range(m):
+        for j in range(n):
+            out[i, j] = 0
+    for s in range(p):
+        for t in range(q):
+            shift = s + t
+            for i in range(m):
+                arow = a[s * m + i]
+                for j in range(n):
+                    brow = b[t * n + j]
+                    acc = np.int64(0)
+                    if op_and:
+                        for w in range(nwords):
+                            acc += _popcount64(arow[w] & brow[w])
+                    else:
+                        for w in range(nwords):
+                            acc += _popcount64(arow[w] ^ brow[w])
+                    out[i, j] += acc << shift
+
+
+@numba.njit(cache=True)
+def _conv_gather_jit(words, kh, kw, stride, out):  # pragma: no cover
+    images, h, w, cwords = words.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    row = 0
+    for img in range(images):
+        for oy in range(oh):
+            for ox in range(ow):
+                col = 0
+                for i in range(kh):
+                    y = oy * stride + i
+                    for j in range(kw):
+                        x = ox * stride + j
+                        for c in range(cwords):
+                            out[row, col] = words[img, y, x, c]
+                            col += 1
+                row += 1
+
+
+def _pack_bits(bits01: np.ndarray) -> np.ndarray:
+    bits01 = np.ascontiguousarray(bits01, dtype=np.uint8)
+    rows, k = bits01.shape
+    nwords = -(-k // 64) if k else 0
+    out = np.zeros((rows, nwords), dtype=np.uint64)
+    if rows and k:
+        _pack_bits_jit(bits01, out)
+    return out
+
+
+def _packed_gemm(
+    a_words: np.ndarray,
+    b_words: np.ndarray,
+    p: int,
+    m: int,
+    q: int,
+    n: int,
+    op_and: bool,
+) -> np.ndarray:
+    a_words = np.ascontiguousarray(a_words, dtype=np.uint64)
+    b_words = np.ascontiguousarray(b_words, dtype=np.uint64)
+    nwords = a_words.shape[1] if a_words.ndim == 2 else 0
+    out = np.zeros((m, n), dtype=np.int64)
+    if m and n and nwords and p and q:
+        _packed_gemm_jit(a_words, b_words, p, m, q, n, nwords, op_and, out)
+    return out
+
+
+def _conv_gather(
+    words: np.ndarray, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    images, h, w, cwords = words.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.empty((images * oh * ow, kh * kw * cwords), dtype=np.uint64)
+    if out.size:
+        _conv_gather_jit(words, kh, kw, stride, out)
+    return out
+
+
+def kernels() -> dict[str, Callable[..., Any]]:
+    """Capability -> kernel table (JIT compilation happens lazily)."""
+    return {
+        "pack_bits": _pack_bits,
+        "packed_gemm": _packed_gemm,
+        "conv_gather": _conv_gather,
+    }

@@ -30,15 +30,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import backends
 from ..core.emulate import apbit_matmul, reference_matmul
 from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
 from ..obs import kernel_tracer
 from ..perf.cost import KernelCost, conv_cost
+from ..tensorcore.counters import ExecutionCounters
 from ..tensorcore.device import DeviceSpec, RTX3090
 from .autotune import TuneResult, autotune
 from .layout import conv_output_shape, im2col
+from .packed_conv import packed_conv_matmul, packed_conv_preferred
 from .padding import PaddingPlan, pad_digits, padding_correction, plan_padding
 from .tiling import TileConfig
 
@@ -68,15 +71,21 @@ def apconv(
     device: DeviceSpec = RTX3090,
     config: TileConfig | None = None,
     strategy: str = "packed",
+    backend: "backends.Backend | str | None" = None,
     out_quantizer: AffineQuantizer | None = None,
     channel_major: bool = True,
     decompose_input: bool = True,
 ) -> APConvResult:
     """Run (and cost) one arbitrary-precision convolution.
 
-    Parameters mirror :func:`repro.kernels.apmm.apmm`; geometry is NCHW
-    digits in, ``(N, C_out, OH, OW)`` out (int64 accumulators, or digits
-    when ``out_quantizer`` re-quantizes for the next layer).
+    Parameters mirror :func:`repro.kernels.apmm.apmm` (including the
+    ``backend`` kernel-backend selector); geometry is NCHW digits in,
+    ``(N, C_out, OH, OW)`` out (int64 accumulators, or digits when
+    ``out_quantizer`` re-quantizes for the next layer).  On a backend
+    with the ``conv_gather`` capability the packed strategy skips the
+    im2col digit-matrix materialization entirely
+    (:mod:`repro.kernels.packed_conv`); outputs are byte-identical
+    either way.
     """
     # Kernel-boundary tracing (wall clock; same hook as apmm).
     tracer = kernel_tracer()
@@ -94,15 +103,13 @@ def apconv(
     batch, cin_x, h, w = x_digits.shape
     if cin != cin_x:
         raise ValueError(f"channel mismatch: weights C_in={cin}, features C_in={cin_x}")
-    if strategy not in ("packed", "integer", "bitserial"):
-        raise ValueError(f"unknown strategy {strategy!r}")
+    strategy, run_backend = backends.resolve_dispatch(
+        strategy, backend, kernel_name="apconv"
+    )
 
     oh, ow = conv_output_shape(h, w, kh, stride, padding)
     pplan = plan_padding(weight, feature)
-
     padded = pad_digits(x_digits, padding, pplan.pad_digit)
-    cols = im2col(padded, kh, stride)  # (batch*OH*OW, C_in*kh*kw)
-    w_flat = w_digits.reshape(cout, cin * kh * kw)
 
     m, n_gemm = cout, batch * oh * ow
     tune = None
@@ -111,12 +118,27 @@ def apconv(
         config = tune.config
     config.validate_for_device(device)
 
-    if strategy == "packed":
-        acc = packed_matmul(w_flat, cols, weight, feature)
-    elif strategy == "bitserial":
-        acc = apbit_matmul(w_flat, cols, weight, feature)
+    run_counters = ExecutionCounters()
+    if strategy == "packed" and packed_conv_preferred(
+        weight, feature, cin * kh * kw, run_backend
+    ):
+        # compiled window gather: the im2col digit matrix never exists
+        acc = packed_conv_matmul(
+            w_digits, padded, weight, feature,
+            stride=stride, counters=run_counters, backend=run_backend,
+        )
     else:
-        acc = reference_matmul(w_flat, cols, weight, feature)
+        cols = im2col(padded, kh, stride)  # (batch*OH*OW, C_in*kh*kw)
+        w_flat = w_digits.reshape(cout, cin * kh * kw)
+        if strategy == "packed":
+            acc = packed_matmul(
+                w_flat, cols, weight, feature,
+                backend=run_backend, counters=run_counters,
+            )
+        elif strategy == "bitserial":
+            acc = apbit_matmul(w_flat, cols, weight, feature)
+        else:
+            acc = reference_matmul(w_flat, cols, weight, feature)
     # (C_out, batch*OH*OW) -> (batch, C_out, OH, OW)
     out = acc.reshape(cout, batch, oh, ow).transpose(1, 0, 2, 3)
 
@@ -143,11 +165,14 @@ def apconv(
         decompose_input=decompose_input,
         name=f"apconv-w{weight.bits}a{feature.bits}-{cin}->{cout}@{h}x{w}k{kh}s{stride}",
     )
+    # Observed execution fact on top of the analytic charge (cf. apmm).
+    cost.counters.compiled_kernels = run_counters.compiled_kernels
     if tracer.enabled:
         tracer.span(
             cost.name, "kernel", t0_us, time.perf_counter() * 1e6,
             track="wall", lane="apconv",
-            strategy=strategy, batch=batch, cin=cin, cout=cout,
+            strategy=strategy, backend=run_backend.name,
+            batch=batch, cin=cin, cout=cout,
             kernel=kh, stride=stride, padding=padding,
             weight_bits=weight.bits, feature_bits=feature.bits,
             **cost.counters.as_dict(),

@@ -37,19 +37,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import backends
 from ..core.emulate import apbit_matmul, reference_matmul
 from ..core.packed import packed_matmul
 from ..core.quantize import AffineQuantizer
 from ..core.types import Precision
 from ..obs import kernel_tracer
 from ..perf.cost import KernelCost, gemm_cost
+from ..tensorcore.counters import ExecutionCounters
 from ..tensorcore.device import DeviceSpec, RTX3090
 from .autotune import TuneResult, autotune
 from .tiling import TileConfig
 
 __all__ = ["APMMResult", "apmm", "STRATEGIES"]
 
-STRATEGIES = ("packed", "integer", "bitserial")
+#: Re-exported from :mod:`repro.core.backends` (the registry is the
+#: single source of truth for strategy validation since the backend API).
+STRATEGIES = backends.STRATEGIES
 
 
 @dataclass
@@ -73,6 +77,7 @@ def apmm(
     device: DeviceSpec = RTX3090,
     config: TileConfig | None = None,
     strategy: str = "packed",
+    backend: "backends.Backend | str | None" = None,
     out_quantizer: AffineQuantizer | None = None,
     batch_planes: bool = True,
     double_caching: bool = True,
@@ -95,6 +100,13 @@ def apmm(
         ``"packed"`` (vectorized packed-word fast path, default),
         ``"integer"`` (decoded-integer reference) or ``"bitserial"``
         (plane-wise Tensor-Core reference); identical outputs.
+    backend:
+        Kernel backend for the packed strategy's hot loops
+        (:mod:`repro.core.backends`); ``None`` resolves through the
+        process-wide precedence chain.  The reference strategies only
+        combine with ``"numpy"``; :func:`~repro.core.backends.
+        resolve_dispatch` validates the pair and enumerates the valid
+        combinations on error.
     out_quantizer:
         Optional fused re-quantization to an arbitrary-precision output
         (section 4.1b); the cost then writes ``q_out``-bit packed data.
@@ -115,8 +127,9 @@ def apmm(
         raise ValueError(
             f"K mismatch: W has K={w_digits.shape[1]}, X has K={x_digits.shape[1]}"
         )
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    strategy, run_backend = backends.resolve_dispatch(
+        strategy, backend, kernel_name="apmm"
+    )
 
     m, k = w_digits.shape
     n = x_digits.shape[0]
@@ -127,8 +140,12 @@ def apmm(
         config = tune.config
     config.validate_for_device(device)
 
+    run_counters = ExecutionCounters()
     if strategy == "packed":
-        acc = packed_matmul(w_digits, x_digits, weight, feature)
+        acc = packed_matmul(
+            w_digits, x_digits, weight, feature,
+            backend=run_backend, counters=run_counters,
+        )
     elif strategy == "bitserial":
         acc = apbit_matmul(w_digits, x_digits, weight, feature)
     else:
@@ -150,11 +167,15 @@ def apmm(
         decompose_input=decompose_input,
         name=f"apmm-w{weight.bits}a{feature.bits}-{m}x{n}x{k}",
     )
+    # The analytic model charges the virtual-hardware work; which backend
+    # *actually* executed the hot loops is an observed fact, recorded on
+    # top so plans/spans/tests can assert it.
+    cost.counters.compiled_kernels = run_counters.compiled_kernels
     if tracer.enabled:
         tracer.span(
             cost.name, "kernel", t0_us, time.perf_counter() * 1e6,
             track="wall", lane="apmm",
-            strategy=strategy, m=m, n=n, k=k,
+            strategy=strategy, backend=run_backend.name, m=m, n=n, k=k,
             weight_bits=weight.bits, feature_bits=feature.bits,
             **cost.counters.as_dict(),
         )

@@ -44,6 +44,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..core import backends
 from ..kernels.autotune import AutotuneCacheStats
 from ..kernels.autotune import cache_stats as autotune_cache_stats
 from .plan_cache import PlanCache
@@ -64,9 +65,12 @@ __all__ = [
 #: failovers, worker crashes/restarts, heartbeat timeouts, recovered
 #: store lines); version 4 added the HTTP/WebSocket gateway counters
 #: (connections, requests, bad requests, 503s, WS connections/messages,
-#: backpressure waits, send-queue high water).  Bump on any key
-#: addition, removal, or meaning change.
-METRICS_SCHEMA_VERSION = 4
+#: backpressure waits, send-queue high water); version 5 added the
+#: active kernel-backend identity (``kernel_backend``, its
+#: ``kernel_backend_compiled`` flag, and the ``kernel_backend_
+#: capabilities`` list) from :mod:`repro.core.backends`.  Bump on any
+#: key addition, removal, or meaning change.
+METRICS_SCHEMA_VERSION = 5
 
 #: Sliding-window length for per-request latency percentiles.
 DEFAULT_LATENCY_WINDOW = 10_000
@@ -453,15 +457,25 @@ class ServerMetrics:
                 out[stage] = out.get(stage, 0.0) + s.service_us_sum
         return dict(sorted(out.items()))
 
-    def snapshot(self) -> dict[str, float]:
+    def snapshot(self) -> dict[str, "float | str"]:
         """Scalar lifetime counters, for delta assertions across restarts.
 
         Includes the admission policy's rejection/deferral totals and a
         ``schema`` stamp (:data:`METRICS_SCHEMA_VERSION`) so downstream
         report tooling can detect shape drift before keying into it.
+        Since v5 the (string-valued) kernel-backend identity rides
+        along: which :mod:`repro.core.backends` tier executes the packed
+        hot loops in this process, whether it is compiled, and the
+        capability flags it advertises (``/``-joined, stable order).
         """
+        active = backends.get_backend()
         return {
             "schema": METRICS_SCHEMA_VERSION,
+            "kernel_backend": active.name,
+            "kernel_backend_compiled": float(active.compiled),
+            "kernel_backend_capabilities": "/".join(
+                c for c in backends.CAPABILITIES if c in active.capabilities
+            ),
             "requests": self.total_requests,
             "batches": self.total_batches,
             "rejected": self.total_rejected,

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from ..core import backends
 from ..nn.engine import APNNBackend, BNNBackend, CompiledPlan, InferenceEngine
 from ..obs import NULL_TRACER
 from ..perf.calibration import Calibration
@@ -64,7 +65,11 @@ _MEMO_CAPACITY = 1024
 #: Schema version stamped on every persisted plan record.  Bump when the
 #: serialized layout of :class:`~repro.nn.engine.CompiledPlan` or
 #: :class:`PlanKey` changes; loads skip records from any other version.
-STORE_SCHEMA_VERSION = 1
+#:
+#: v2: plan identity includes the kernel backend
+#: (:mod:`repro.core.backends`), so plans compiled under one backend are
+#: never served to a process running another.
+STORE_SCHEMA_VERSION = 2
 
 
 def backend_key(backend) -> str:
@@ -113,6 +118,10 @@ class PlanKey:
     batch: int
     input_shape: tuple[int, ...]
     calibration: tuple
+    #: Active kernel backend (:mod:`repro.core.backends`) -- plan cost
+    #: facts like ``compiled_kernels`` are backend-dependent, so a cache
+    #: must never return a plan compiled under a different backend.
+    kernel_backend: str = "numpy"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (tuples flatten to arrays)."""
@@ -123,6 +132,7 @@ class PlanKey:
             "batch": self.batch,
             "input_shape": list(self.input_shape),
             "calibration": self.calibration,
+            "kernel_backend": self.kernel_backend,
         }
 
     @classmethod
@@ -134,6 +144,7 @@ class PlanKey:
             batch=data["batch"],
             input_shape=tuple(data["input_shape"]),
             calibration=_freeze(data["calibration"]),
+            kernel_backend=data.get("kernel_backend", "numpy"),
         )
 
 
@@ -348,6 +359,7 @@ class PlanCache:
             calibration=self._memo_key(
                 engine.latency_model.calibration, calibration_key
             ),
+            kernel_backend=backends.get_backend().name,
         )
 
     def _memo_key(self, obj, compute):

@@ -39,6 +39,11 @@ class ExecutionCounters:
         Thread blocks launched (the paper's TLP, eq. 3).
     kernel_launches:
         Number of distinct kernel launches (fusion reduces this).
+    compiled_kernels:
+        Hot-loop invocations that executed on a compiled kernel backend
+        (:mod:`repro.core.backends`) instead of the numpy path -- zero
+        on the numpy backend by construction, so tests can assert which
+        backend actually ran.
     """
 
     bmma_calls: int = 0
@@ -51,6 +56,7 @@ class ExecutionCounters:
     frag_bytes_peak: int = 0
     blocks: int = 0
     kernel_launches: int = 0
+    compiled_kernels: int = 0
 
     def merge(self, other: "ExecutionCounters") -> "ExecutionCounters":
         """Accumulate another counter set into this one (in place).

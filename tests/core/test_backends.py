@@ -1,0 +1,247 @@
+"""The kernel-backend registry: selection precedence, degradation, dispatch.
+
+These tests exercise :mod:`repro.core.backends` semantics with throwaway
+fake backends so they pass identically whether or not numba/cffi are
+importable in this interpreter: precedence (call kwarg > ``set_backend``
+> ``REPRO_BACKEND`` > auto-detection), warn-once degradation for broken
+environments and loaders, hard errors for *explicit* requests of broken
+backends, and the registry-driven ``(strategy, backend)`` validation that
+``apmm``/``apconv`` share -- including the legacy backend-name-as-strategy
+deprecation shim.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core import backends
+from repro.core.backends import (
+    CAPABILITIES,
+    STRATEGIES,
+    Backend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolve_dispatch,
+    set_backend,
+    use_backend,
+    valid_combinations,
+)
+
+
+def _dummy_table():
+    return {cap: (lambda *a, **k: None) for cap in CAPABILITIES}
+
+
+@contextmanager
+def temp_backend(name, *, priority=99, loader=_dummy_table,
+                 capabilities=CAPABILITIES, compiled=True):
+    """Register a throwaway backend; always deregistered on exit."""
+    register_backend(Backend(
+        name=name, kind="test", compiled=compiled, priority=priority,
+        capabilities=frozenset(capabilities), loader=loader,
+    ))
+    try:
+        yield backends._REGISTRY[name]
+    finally:
+        backends._REGISTRY.pop(name, None)
+        backends._KERNELS.pop(name, None)
+
+
+@pytest.fixture(autouse=True)
+def _restore_selection_state(monkeypatch):
+    """Isolate process-wide selection + warn-once state per test."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    saved_active = backends._ACTIVE[0]
+    saved_warned = set(backends._WARNED)
+    yield
+    backends._ACTIVE[0] = saved_active
+    backends._WARNED.clear()
+    backends._WARNED.update(saved_warned)
+
+
+class TestRegistry:
+    def test_numpy_is_always_registered_and_usable(self):
+        assert "numpy" in backend_names()
+        numpy = resolve_backend("numpy")
+        assert not numpy.compiled
+        assert numpy.capabilities == frozenset()
+
+    def test_names_sorted_by_detection_priority(self):
+        with temp_backend("zz-high", priority=99):
+            assert backend_names()[0] == "zz-high"
+            prios = [b.priority for b in available_backends()]
+            assert prios == sorted(prios, reverse=True)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Backend(
+                name="numpy", kind="python", compiled=False, priority=1,
+                capabilities=frozenset(),
+            ))
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError, match="unknown capabilities"):
+            register_backend(Backend(
+                name="zz-bogus-caps", kind="test", compiled=True,
+                priority=1, capabilities=frozenset({"warp_shuffle"}),
+            ))
+        assert "zz-bogus-caps" not in backend_names()
+
+
+class TestPrecedence:
+    def test_auto_detection_picks_highest_priority_usable(self):
+        with temp_backend("zz-high", priority=99):
+            assert get_backend().name == "zz-high"
+
+    def test_env_override_beats_auto_detection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        with temp_backend("zz-high", priority=99):
+            assert get_backend().name == "numpy"
+
+    def test_set_backend_beats_env(self, monkeypatch):
+        with temp_backend("zz-high", priority=99):
+            monkeypatch.setenv("REPRO_BACKEND", "numpy")
+            set_backend("zz-high")
+            assert get_backend().name == "zz-high"
+            set_backend(None)
+            assert get_backend().name == "numpy"
+
+    def test_call_kwarg_beats_everything(self):
+        with temp_backend("zz-high", priority=99):
+            set_backend("zz-high")
+            assert resolve_backend("numpy").name == "numpy"
+
+    def test_use_backend_restores_previous_selection(self):
+        set_backend("numpy")
+        with temp_backend("zz-high", priority=99):
+            with use_backend("zz-high") as b:
+                assert b.name == "zz-high"
+                assert get_backend().name == "zz-high"
+            assert get_backend().name == "numpy"
+
+    def test_use_backend_restores_on_exception(self):
+        set_backend("numpy")
+        with temp_backend("zz-high", priority=99):
+            with pytest.raises(RuntimeError, match="boom"):
+                with use_backend("zz-high"):
+                    raise RuntimeError("boom")
+            assert get_backend().name == "numpy"
+
+
+class TestDegradation:
+    """The environment and auto-detection degrade; explicit requests raise."""
+
+    def _broken_loader(self):
+        raise OSError("no C compiler")
+
+    def test_unknown_env_backend_warns_once_and_degrades(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "zz-nonexistent")
+        with pytest.warns(RuntimeWarning, match="names no registered"):
+            first = get_backend()
+        assert first.name in backend_names()
+        # warn-once: the second resolution is silent
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert get_backend().name == first.name
+
+    def test_unusable_env_backend_warns_and_degrades(self, monkeypatch):
+        with temp_backend("zz-broken", loader=self._broken_loader):
+            monkeypatch.setenv("REPRO_BACKEND", "zz-broken")
+            with pytest.warns(RuntimeWarning):
+                assert get_backend().name != "zz-broken"
+
+    def test_auto_detection_skips_backend_whose_loader_raises(self):
+        with temp_backend("zz-broken", priority=99,
+                          loader=self._broken_loader):
+            with pytest.warns(RuntimeWarning, match="failed to load"):
+                assert get_backend().name != "zz-broken"
+
+    def test_explicit_request_of_broken_backend_raises(self):
+        with temp_backend("zz-broken", loader=self._broken_loader):
+            with pytest.warns(RuntimeWarning):
+                backends._kernels_for(backends._REGISTRY["zz-broken"])
+            with pytest.raises(RuntimeError, match="failed to load"):
+                resolve_backend("zz-broken")
+            with pytest.raises(RuntimeError, match="failed to load"):
+                set_backend("zz-broken")
+
+    def test_unknown_backend_name_enumerates_registry(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            resolve_backend("zz-nonexistent")
+
+    def test_loader_missing_advertised_kernel_degrades(self):
+        with temp_backend("zz-partial", priority=99,
+                          loader=lambda: {"pack_bits": lambda *a: None}):
+            with pytest.warns(RuntimeWarning, match="without advertised"):
+                assert get_backend().name != "zz-partial"
+
+
+class TestKernelLookup:
+    def test_numpy_backend_has_no_compiled_kernels(self):
+        for cap in CAPABILITIES:
+            assert backends.kernel(cap, "numpy") is None
+
+    def test_unknown_capability_raises(self):
+        with pytest.raises(ValueError, match="unknown capability"):
+            backends.kernel("warp_shuffle")
+
+    def test_usable_fake_backend_serves_its_table(self):
+        table = _dummy_table()
+        with temp_backend("zz-high", priority=99, loader=lambda: table):
+            for cap in CAPABILITIES:
+                assert backends.kernel(cap, "zz-high") is table[cap]
+
+    def test_capability_not_advertised_returns_none(self):
+        with temp_backend("zz-packonly", capabilities=("pack_bits",),
+                          loader=lambda: {"pack_bits": lambda *a: None}):
+            assert backends.kernel("conv_gather", "zz-packonly") is None
+
+
+class TestResolveDispatch:
+    def test_reference_strategies_pin_numpy(self):
+        for strategy in ("integer", "bitserial"):
+            resolved_strategy, b = resolve_dispatch(strategy)
+            assert resolved_strategy == strategy
+            assert b.name == "numpy"
+
+    def test_reference_strategy_rejects_compiled_backend(self):
+        with temp_backend("zz-high", priority=99):
+            with pytest.raises(ValueError, match="valid combinations"):
+                resolve_dispatch("bitserial", "zz-high", kernel_name="apmm")
+
+    def test_unknown_strategy_enumerates_combinations(self):
+        with pytest.raises(ValueError) as exc:
+            resolve_dispatch("bogus", kernel_name="apconv")
+        msg = str(exc.value)
+        assert msg.startswith("apconv: unknown strategy")
+        assert valid_combinations() in msg
+
+    def test_legacy_backend_name_as_strategy_warns_and_maps(self):
+        with temp_backend("zz-high", priority=99):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                strategy, b = resolve_dispatch("zz-high")
+            assert (strategy, b.name) == ("packed", "zz-high")
+            # once per process: the second use is silent
+            import warnings as _w
+            with _w.catch_warnings():
+                _w.simplefilter("error")
+                assert resolve_dispatch("zz-high")[1].name == "zz-high"
+
+    def test_legacy_shim_conflicting_backend_kwarg_raises(self):
+        with temp_backend("zz-high", priority=99):
+            backends._WARNED.add("strategy-shim:zz-high")  # silence the shim
+            with pytest.raises(ValueError, match="conflicts with backend"):
+                resolve_dispatch("zz-high", "numpy")
+
+    def test_packed_resolves_through_backend_precedence(self):
+        with temp_backend("zz-high", priority=99):
+            strategy, b = resolve_dispatch("packed")
+            assert (strategy, b.name) == ("packed", "zz-high")
+            assert resolve_dispatch("packed", "numpy")[1].name == "numpy"
+
+    def test_strategies_tuple_is_the_public_contract(self):
+        assert STRATEGIES == ("packed", "integer", "bitserial")

@@ -98,10 +98,12 @@ class TestRegressionGate:
 
     def test_passes_against_own_baseline(self, smoke_report):
         baseline = self._baseline_from(smoke_report)
-        assert check_report(smoke_report, baseline, min_gemm_speedup=0) == []
+        assert check_report(smoke_report, baseline, min_gemm_speedup=0,
+                            min_compiled_gemm_speedup=0) == []
 
     def test_passes_without_baseline(self, smoke_report):
-        assert check_report(smoke_report, None, min_gemm_speedup=0) == []
+        assert check_report(smoke_report, None, min_gemm_speedup=0,
+                            min_compiled_gemm_speedup=0) == []
 
     def test_fails_on_speedup_regression(self, smoke_report):
         baseline = self._baseline_from(smoke_report)
@@ -109,7 +111,8 @@ class TestRegressionGate:
         for entry in baseline["kernels"]:
             entry["speedup"] *= 2.0
         failures = check_report(
-            smoke_report, baseline, tolerance=0.25, min_gemm_speedup=0
+            smoke_report, baseline, tolerance=0.25,
+            min_gemm_speedup=0, min_compiled_gemm_speedup=0,
         )
         assert failures
         assert all("regressed" in f for f in failures)
@@ -119,7 +122,8 @@ class TestRegressionGate:
         for entry in baseline["kernels"]:
             entry["speedup"] *= 1.10  # 10% worse than committed: inside 25%
         assert check_report(
-            smoke_report, baseline, tolerance=0.25, min_gemm_speedup=0
+            smoke_report, baseline, tolerance=0.25,
+            min_gemm_speedup=0, min_compiled_gemm_speedup=0,
         ) == []
 
     def test_fails_on_missing_tracked_kernel(self, smoke_report):
@@ -127,13 +131,15 @@ class TestRegressionGate:
         baseline["kernels"].append(
             dict(baseline["kernels"][0], id="gemm-w9a9-1x1x1")
         )
-        failures = check_report(smoke_report, baseline, min_gemm_speedup=0)
+        failures = check_report(smoke_report, baseline, min_gemm_speedup=0,
+                                min_compiled_gemm_speedup=0)
         assert any("missing from this run" in f for f in failures)
 
     def test_fails_on_identity_violation(self, smoke_report):
         broken = copy.deepcopy(smoke_report)
         broken.kernels[0].identical = False
-        failures = check_report(broken, None, min_gemm_speedup=0)
+        failures = check_report(broken, None, min_gemm_speedup=0,
+                                min_compiled_gemm_speedup=0)
         assert any("byte-identical" in f for f in failures)
 
     def test_fails_below_gemm_speedup_floor(self, smoke_report):

@@ -19,7 +19,7 @@ from repro.bench.__main__ import main as bench_main
 
 def sample_report(suite="smoke", gemm_speedup=5.0):
     return {
-        "schema": 1,
+        "schema": 2,
         "suite": suite,
         "repeats": 2,
         "host": {"python": "3.11", "platform": "test"},
